@@ -1,0 +1,37 @@
+// Command pcbench regenerates the paper's evaluation artifacts (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).
+//
+// Usage:
+//
+//	pcbench            # run every experiment
+//	pcbench e4 e6      # run selected experiments
+//	pcbench -seed 42   # change the workload seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"predctl/internal/expt"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1998, "workload seed")
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		for _, t := range expt.All(*seed) {
+			fmt.Println(t)
+		}
+		return
+	}
+	for _, id := range ids {
+		t := expt.ByID(id, *seed)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q (want e1..e9)\n", id)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+}

@@ -1,0 +1,3 @@
+module predctl
+
+go 1.24

@@ -1,0 +1,255 @@
+// Package control models control relations and controlled computations
+// (paper §3). A control strategy is realized as extra causal dependencies:
+// each tuple u ⟶C v ("u is forced before v") stands for a control message
+// sent by u's controller when the underlying process *leaves* state u and
+// received, with blocking, by v's controller before state v. The
+// controlled deposet is the original computation plus this extra
+// causality; it is valid only if the extended precedence relation remains
+// an irreflexive partial order (the control relation does not "interfere"
+// with →).
+//
+// The semantics are event-based: the entering event of v waits for the
+// exit event of u (event u.K+1 of u's process). Getting this right
+// matters — treating the edge as a dependency on u's *state clock* alone
+// misses genuine runtime deadlocks, because the exit event of u may
+// itself be a message receive with further dependencies. Extend therefore
+// merges the clock of state u.K+1 (the state reached by the exit event),
+// with its own-process component lowered to u.K: reaching v implies u was
+// exited, i.e. state u.K was passed — not that state u.K+1 was passed.
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"predctl/internal/deposet"
+	"predctl/internal/vclock"
+)
+
+// Edge is one tuple of the control relation: From ⟶C To.
+type Edge struct {
+	From deposet.StateID
+	To   deposet.StateID
+}
+
+func (e Edge) String() string { return fmt.Sprintf("%v ⟶C %v", e.From, e.To) }
+
+// Relation is a control relation: a set of forced-before tuples.
+type Relation []Edge
+
+// ErrInterference is returned when a control relation creates a cycle with
+// the computation's causal precedence, so no valid controlled computation
+// exists (the strategy would deadlock).
+var ErrInterference = errors.New("control: relation interferes with causal precedence")
+
+// Extended is a controlled deposet: the underlying computation plus a
+// non-interfering control relation, with extended causality →C computed.
+type Extended struct {
+	d     *deposet.Deposet
+	edges Relation
+	vc    [][]vclock.VC // extended clocks, same convention as deposet
+}
+
+// Extend validates rel against d and computes extended causality. It
+// rejects out-of-range endpoints, sends after a final state (D2), receives
+// before an initial state (D1), and interference (cycles).
+func Extend(d *deposet.Deposet, rel Relation) (*Extended, error) {
+	n := d.NumProcs()
+	incoming := make([][][]deposet.StateID, n) // per process, per state: control senders
+	for p := 0; p < n; p++ {
+		incoming[p] = make([][]deposet.StateID, d.Len(p))
+	}
+	for _, e := range rel {
+		if e.From.P < 0 || e.From.P >= n || e.From.K < 0 || e.From.K >= d.Len(e.From.P) {
+			return nil, fmt.Errorf("control: edge %v: From out of range", e)
+		}
+		if e.To.P < 0 || e.To.P >= n || e.To.K < 0 || e.To.K >= d.Len(e.To.P) {
+			return nil, fmt.Errorf("control: edge %v: To out of range", e)
+		}
+		if d.IsTop(e.From) {
+			return nil, fmt.Errorf("control: edge %v: control message sent after final state (D2)", e)
+		}
+		if e.To.K == 0 {
+			return nil, fmt.Errorf("control: edge %v: control message received before initial state (D1)", e)
+		}
+		incoming[e.To.P][e.To.K] = append(incoming[e.To.P][e.To.K], e.From)
+	}
+
+	x := &Extended{d: d, edges: append(Relation(nil), rel...)}
+	x.vc = make([][]vclock.VC, n)
+	done := make([]int, n)
+	remaining := 0
+	for p := 0; p < n; p++ {
+		x.vc[p] = make([]vclock.VC, d.Len(p))
+		v := vclock.New(n)
+		v[p] = 0
+		x.vc[p][0] = v
+		remaining += d.Len(p) - 1
+	}
+	msgs := d.Messages()
+	for remaining > 0 {
+		progress := false
+		for p := 0; p < n; p++ {
+		states:
+			for done[p] < d.Len(p)-1 {
+				e := done[p] + 1
+				v := x.vc[p][e-1].Clone()
+				if mi := d.RecvAt(p, e); mi >= 0 {
+					m := msgs[mi]
+					// Receiving implies the send event happened, i.e. the
+					// sender reached state SendEvent (exited SendEvent−1).
+					// Unlike in a plain deposet, the send event may carry
+					// extra dependencies here (a control edge can target
+					// its resulting state), so merge that state's full
+					// clock with the own-process component lowered.
+					if m.SendEvent > done[m.FromP] {
+						break
+					}
+					w := x.vc[m.FromP][m.SendEvent].Clone()
+					w[m.FromP] = m.SendEvent - 1
+					v.Merge(w)
+				}
+				for _, from := range incoming[p][e] {
+					// The exit event of `from` is event from.K+1; its
+					// resulting state must already be clocked.
+					if from.K+1 > done[from.P] {
+						break states
+					}
+				}
+				for _, from := range incoming[p][e] {
+					w := x.vc[from.P][from.K+1].Clone()
+					w[from.P] = from.K // v implies from exited, not from.K+1 passed
+					v.Merge(w)
+				}
+				v[p] = e
+				x.vc[p][e] = v
+				done[p] = e
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, ErrInterference
+		}
+	}
+	return x, nil
+}
+
+// Underlying returns the uncontrolled computation.
+func (x *Extended) Underlying() *deposet.Deposet { return x.d }
+
+// NumProcs and Len delegate to the underlying computation, letting an
+// Extended satisfy deposet.View so the detection algorithms can verify
+// controlled computations directly.
+func (x *Extended) NumProcs() int { return x.d.NumProcs() }
+func (x *Extended) Len(p int) int { return x.d.Len(p) }
+
+var _ deposet.View = (*Extended)(nil)
+
+// Edges returns the control relation. Callers must not modify it.
+func (x *Extended) Edges() Relation { return x.edges }
+
+// Clock returns the extended vector clock of state s.
+func (x *Extended) Clock(s deposet.StateID) vclock.VC { return x.vc[s.P][s.K] }
+
+// HB reports s →C t under extended causality.
+func (x *Extended) HB(s, t deposet.StateID) bool {
+	if s.P == t.P {
+		return s.K < t.K
+	}
+	return x.vc[t.P][t.K][s.P] >= s.K
+}
+
+// Concurrent reports s ∥ t under extended causality.
+func (x *Extended) Concurrent(s, t deposet.StateID) bool {
+	return s != t && !x.HB(s, t) && !x.HB(t, s)
+}
+
+// Consistent reports whether g is a consistent global state of the
+// controlled computation. Every such cut is also consistent in the
+// underlying computation (control only removes behaviours).
+func (x *Extended) Consistent(g deposet.Cut) bool {
+	n := x.d.NumProcs()
+	for j := 0; j < n; j++ {
+		v := x.vc[j][g[j]]
+		for i := 0; i < n; i++ {
+			if i != j && v[i] >= g[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForEachConsistentCut enumerates the consistent global states of the
+// controlled computation in BFS lattice order; see the deposet analogue.
+func (x *Extended) ForEachConsistentCut(f func(deposet.Cut) bool) {
+	n := x.d.NumProcs()
+	start := x.d.BottomCut()
+	if !x.Consistent(start) {
+		return
+	}
+	seen := map[string]bool{start.Key(): true}
+	queue := []deposet.Cut{start}
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		if !f(g) {
+			return
+		}
+		for p := 0; p < n; p++ {
+			if g[p]+1 >= x.d.Len(p) {
+				continue
+			}
+			h := g.Clone()
+			h[p]++
+			if key := h.Key(); !seen[key] && x.Consistent(h) {
+				seen[key] = true
+				queue = append(queue, h)
+			}
+		}
+	}
+}
+
+// SomeSequence returns one global sequence of the controlled computation
+// — the paper's "simulating a run of the strategy" (§4): a satisfying
+// control strategy yields a satisfying global sequence this way. A valid
+// controlled deposet always has one; single-step, smallest process first.
+func (x *Extended) SomeSequence() deposet.Sequence {
+	g := x.d.BottomCut()
+	seq := deposet.Sequence{g.Clone()}
+	top := x.d.TopCut()
+	for !g.Equal(top) {
+		advanced := false
+		for p := range g {
+			if g[p] < top[p] {
+				g[p]++
+				if x.Consistent(g) {
+					seq = append(seq, g.Clone())
+					advanced = true
+					break
+				}
+				g[p]--
+			}
+		}
+		if !advanced {
+			// Cannot happen when the relation does not interfere.
+			panic("control: stuck constructing a global sequence of a controlled deposet")
+		}
+	}
+	return seq
+}
+
+// CountConsistentCuts returns the number of consistent global states of
+// the controlled computation.
+func (x *Extended) CountConsistentCuts() int {
+	c := 0
+	x.ForEachConsistentCut(func(deposet.Cut) bool { c++; return true })
+	return c
+}
+
+// Interferes reports whether rel creates a causal cycle on d.
+func Interferes(d *deposet.Deposet, rel Relation) bool {
+	_, err := Extend(d, rel)
+	return errors.Is(err, ErrInterference)
+}

@@ -1,0 +1,366 @@
+// Package deposet implements the computation model of Tarafdar & Garg,
+// "Predicate Control for Active Debugging of Distributed Programs"
+// (IPPS 1998): the decomposed partially-ordered set (deposet).
+//
+// A deposet records a distributed computation of n sequential processes.
+// Process p executes a sequence of local states indexed 0..len(p)-1, where
+// state 0 is the initial state ⊥p and the last state is the final state ⊤p.
+// Event k (1-based) takes state k-1 to state k and is a local event, a
+// message send, or a message receive (never both: constraint D3). Messages
+// induce the remote-precedence relation: if the event after state s sends a
+// message received by the event before state t, then s ⇝ t. Causal
+// precedence → is the transitive closure of the local order and ⇝.
+//
+// The package computes vector clocks over states so that the → test is
+// O(1), and provides consistent global states, the lattice of consistent
+// cuts, global sequences, and false-interval extraction — everything the
+// predicate-detection and predicate-control algorithms consume.
+package deposet
+
+import (
+	"errors"
+	"fmt"
+
+	"predctl/internal/vclock"
+)
+
+// StateID identifies a local state: process P, state index K (0 = ⊥).
+type StateID struct {
+	P int
+	K int
+}
+
+func (s StateID) String() string { return fmt.Sprintf("(%d,%d)", s.P, s.K) }
+
+// Message records one application message. SendEvent and RecvEvent are
+// 1-based event indices on the sending and receiving processes. A message
+// that was sent but never received (still in flight when the computation
+// ended) has ToP == -1 and RecvEvent == 0; it contributes no causality.
+type Message struct {
+	FromP     int
+	SendEvent int
+	ToP       int
+	RecvEvent int
+}
+
+// Received reports whether the message has a receive event.
+func (m Message) Received() bool { return m.ToP >= 0 }
+
+func (m Message) String() string {
+	if !m.Received() {
+		return fmt.Sprintf("P%d.e%d→(in flight)", m.FromP, m.SendEvent)
+	}
+	return fmt.Sprintf("P%d.e%d→P%d.e%d", m.FromP, m.SendEvent, m.ToP, m.RecvEvent)
+}
+
+// View is the read-only causal structure shared by plain computations
+// (*Deposet) and controlled computations (control.Extended): enough to
+// run the detection algorithms on either.
+type View interface {
+	NumProcs() int
+	Len(p int) int
+	HB(s, t StateID) bool
+}
+
+// Deposet is an immutable distributed computation. Construct one with a
+// Builder; the zero value is not usable.
+type Deposet struct {
+	lens []int     // number of states per process
+	msgs []Message // all messages, in send order
+
+	// vc[p][k] is the vector clock of state (p,k): vc[p][k][q] is the
+	// largest j with (q,j) →= (p,k), or vclock.None.
+	vc [][]vclock.VC
+
+	// sendMsg[p][e] / recvMsg[p][e] give the message index for event e of
+	// process p (1-based; index 0 unused), or -1.
+	sendMsg [][]int
+	recvMsg [][]int
+
+	// vars[p][k] is the variable snapshot of state (p,k); nil when the
+	// computation carries no variables.
+	vars [][]map[string]int
+}
+
+// NumProcs returns the number of processes n.
+func (d *Deposet) NumProcs() int { return len(d.lens) }
+
+// Len returns the number of local states of process p (≥ 1).
+func (d *Deposet) Len(p int) int { return d.lens[p] }
+
+// NumStates returns the total number of local states across all processes.
+func (d *Deposet) NumStates() int {
+	t := 0
+	for _, l := range d.lens {
+		t += l
+	}
+	return t
+}
+
+// Messages returns the message list. The caller must not modify it.
+func (d *Deposet) Messages() []Message { return d.msgs }
+
+// SendAt returns the index into Messages of the message sent by event e of
+// process p, or -1.
+func (d *Deposet) SendAt(p, e int) int { return d.sendMsg[p][e] }
+
+// RecvAt returns the index into Messages of the message received by event
+// e of process p, or -1.
+func (d *Deposet) RecvAt(p, e int) int { return d.recvMsg[p][e] }
+
+// Clock returns the vector clock of state s. The caller must not modify it.
+func (d *Deposet) Clock(s StateID) vclock.VC { return d.vc[s.P][s.K] }
+
+// Bottom returns ⊥p, Top returns ⊤p.
+func (d *Deposet) Bottom(p int) StateID { return StateID{p, 0} }
+func (d *Deposet) Top(p int) StateID    { return StateID{p, d.lens[p] - 1} }
+
+// IsBottom and IsTop report whether s is the initial or final state of its
+// process.
+func (d *Deposet) IsBottom(s StateID) bool { return s.K == 0 }
+func (d *Deposet) IsTop(s StateID) bool    { return s.K == d.lens[s.P]-1 }
+
+// HB reports whether s causally precedes t (s → t, strict).
+func (d *Deposet) HB(s, t StateID) bool {
+	if s.P == t.P {
+		return s.K < t.K
+	}
+	return d.vc[t.P][t.K][s.P] >= s.K
+}
+
+// HBeq reports s → t or s == t.
+func (d *Deposet) HBeq(s, t StateID) bool { return s == t || d.HB(s, t) }
+
+// Concurrent reports s ∥ t: neither s → t nor t → s and s ≠ t.
+func (d *Deposet) Concurrent(s, t StateID) bool {
+	return s != t && !d.HB(s, t) && !d.HB(t, s)
+}
+
+// Var returns the value of a state variable at s, if the computation
+// carries variables and the variable is set there.
+func (d *Deposet) Var(s StateID, name string) (int, bool) {
+	if d.vars == nil || d.vars[s.P] == nil {
+		return 0, false
+	}
+	v, ok := d.vars[s.P][s.K][name]
+	return v, ok
+}
+
+// HasVars reports whether the computation carries state variables.
+func (d *Deposet) HasVars() bool { return d.vars != nil }
+
+// A Builder assembles a deposet event by event. All methods panic on
+// out-of-range process indices; semantic errors (double receive, receive
+// of an unsent message, causal cycles) are reported by Build.
+type Builder struct {
+	n       int
+	lens    []int
+	msgs    []Message
+	sendMsg [][]int
+	recvMsg [][]int
+	lets    []map[int]map[string]int // per process: state index → var updates
+	hasVars bool
+	err     error
+}
+
+// NewBuilder starts a computation of n processes, each at its initial
+// state ⊥ (one state, no events).
+func NewBuilder(n int) *Builder {
+	if n < 1 {
+		panic("deposet: need at least one process")
+	}
+	b := &Builder{
+		n:       n,
+		lens:    make([]int, n),
+		sendMsg: make([][]int, n),
+		recvMsg: make([][]int, n),
+		lets:    make([]map[int]map[string]int, n),
+	}
+	for p := 0; p < n; p++ {
+		b.lens[p] = 1
+		b.sendMsg[p] = []int{-1} // event index 0 unused
+		b.recvMsg[p] = []int{-1}
+		b.lets[p] = make(map[int]map[string]int)
+	}
+	return b
+}
+
+func (b *Builder) checkProc(p int) {
+	if p < 0 || p >= b.n {
+		panic(fmt.Sprintf("deposet: process %d out of range [0,%d)", p, b.n))
+	}
+}
+
+func (b *Builder) addEvent(p, send, recv int) StateID {
+	b.lens[p]++
+	b.sendMsg[p] = append(b.sendMsg[p], send)
+	b.recvMsg[p] = append(b.recvMsg[p], recv)
+	return StateID{p, b.lens[p] - 1}
+}
+
+// Step appends a local event to process p and returns the new state.
+func (b *Builder) Step(p int) StateID {
+	b.checkProc(p)
+	return b.addEvent(p, -1, -1)
+}
+
+// MsgHandle names a message created by Send, to be passed to Recv.
+type MsgHandle int
+
+// Send appends a send event to process p and returns a handle for the
+// message, which must later be delivered with Recv (or left in flight).
+func (b *Builder) Send(p int) (StateID, MsgHandle) {
+	b.checkProc(p)
+	id := len(b.msgs)
+	b.msgs = append(b.msgs, Message{FromP: p, SendEvent: b.lens[p], ToP: -1})
+	s := b.addEvent(p, id, -1)
+	return s, MsgHandle(id)
+}
+
+// Recv appends a receive event for message h to process p and returns the
+// new state.
+func (b *Builder) Recv(p int, h MsgHandle) StateID {
+	b.checkProc(p)
+	id := int(h)
+	switch {
+	case id < 0 || id >= len(b.msgs):
+		b.fail(fmt.Errorf("deposet: receive of unknown message %d", id))
+	case b.msgs[id].Received():
+		b.fail(fmt.Errorf("deposet: message %d received twice", id))
+	case b.msgs[id].FromP == p:
+		// Self-messages are legal in the model (s ⇝ t within a process)
+		// but pointless; allow them.
+	}
+	s := b.addEvent(p, -1, id)
+	if b.err == nil {
+		b.msgs[id].ToP = p
+		b.msgs[id].RecvEvent = b.lens[p] - 1
+	}
+	return s
+}
+
+// Transfer is Send on p immediately followed by Recv on q: a convenience
+// for the common "message from p's current point to q's current point"
+// shape used in examples and tests.
+func (b *Builder) Transfer(p, q int) (send, recv StateID) {
+	s, h := b.Send(p)
+	t := b.Recv(q, h)
+	return s, t
+}
+
+// Let sets variable name to value at the current top state of process p
+// and all later states (until overridden). Call it immediately after the
+// event that establishes the value; call before any event to set the value
+// at ⊥p.
+func (b *Builder) Let(p int, name string, value int) {
+	b.checkProc(p)
+	k := b.lens[p] - 1
+	m := b.lets[p][k]
+	if m == nil {
+		m = make(map[string]int)
+		b.lets[p][k] = m
+	}
+	m[name] = value
+	b.hasVars = true
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build validates the computation and computes vector clocks. The builder
+// remains usable; Build may be called repeatedly as the computation grows.
+func (b *Builder) Build() (*Deposet, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	d := &Deposet{
+		lens:    append([]int(nil), b.lens...),
+		msgs:    append([]Message(nil), b.msgs...),
+		sendMsg: make([][]int, b.n),
+		recvMsg: make([][]int, b.n),
+	}
+	for p := 0; p < b.n; p++ {
+		d.sendMsg[p] = append([]int(nil), b.sendMsg[p]...)
+		d.recvMsg[p] = append([]int(nil), b.recvMsg[p]...)
+	}
+	if err := d.computeClocks(); err != nil {
+		return nil, err
+	}
+	if b.hasVars {
+		d.vars = make([][]map[string]int, b.n)
+		for p := 0; p < b.n; p++ {
+			d.vars[p] = make([]map[string]int, d.lens[p])
+			cur := make(map[string]int)
+			for k := 0; k < d.lens[p]; k++ {
+				for name, v := range b.lets[p][k] {
+					cur[name] = v
+				}
+				snap := make(map[string]int, len(cur))
+				for name, v := range cur {
+					snap[name] = v
+				}
+				d.vars[p][k] = snap
+			}
+		}
+	}
+	return d, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (b *Builder) MustBuild() *Deposet {
+	d, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ErrCyclic is returned when the message pattern makes causal precedence
+// cyclic (the structure is not a valid deposet).
+var ErrCyclic = errors.New("deposet: causal precedence is cyclic")
+
+// computeClocks assigns vc[p][k] for every state, processing events in a
+// causality-respecting order; it fails with ErrCyclic if none exists.
+func (d *Deposet) computeClocks() error {
+	n := len(d.lens)
+	d.vc = make([][]vclock.VC, n)
+	done := make([]int, n) // highest state index already clocked
+	remaining := 0
+	for p := 0; p < n; p++ {
+		d.vc[p] = make([]vclock.VC, d.lens[p])
+		v := vclock.New(n)
+		v[p] = 0
+		d.vc[p][0] = v
+		remaining += d.lens[p] - 1
+	}
+	for remaining > 0 {
+		progress := false
+		for p := 0; p < n; p++ {
+			for done[p] < d.lens[p]-1 {
+				e := done[p] + 1 // next event
+				v := d.vc[p][e-1].Clone()
+				if mi := d.recvMsg[p][e]; mi >= 0 {
+					m := d.msgs[mi]
+					// The message carries the clock of the state before
+					// its send event: s = (FromP, SendEvent-1).
+					if m.SendEvent-1 > done[m.FromP] {
+						break // sender state not clocked yet
+					}
+					v.Merge(d.vc[m.FromP][m.SendEvent-1])
+				}
+				v[p] = e
+				d.vc[p][e] = v
+				done[p] = e
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return ErrCyclic
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package deposet
+
+import "fmt"
+
+// Interval is a maximal run of consecutive states of one process on which
+// some local condition is false (a "false-interval" in the paper's
+// terminology, written I with endpoints I.lo and I.hi). Lo and Hi are
+// inclusive state indices; Lo == Hi is a single-state interval.
+type Interval struct {
+	P  int
+	Lo int
+	Hi int
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("P%d[%d..%d]", iv.P, iv.Lo, iv.Hi) }
+
+// LoState and HiState return the endpoint states I.lo and I.hi.
+func (iv Interval) LoState() StateID { return StateID{iv.P, iv.Lo} }
+func (iv Interval) HiState() StateID { return StateID{iv.P, iv.Hi} }
+
+// Contains reports whether state index k lies in the interval.
+func (iv Interval) Contains(k int) bool { return iv.Lo <= k && k <= iv.Hi }
+
+// FalseIntervals returns the maximal false-intervals of process p with
+// respect to the local condition holds (holds(k) is the truth of the local
+// predicate at state (p,k)), in increasing order.
+func (d *Deposet) FalseIntervals(p int, holds func(k int) bool) []Interval {
+	var ivs []Interval
+	m := d.lens[p]
+	for k := 0; k < m; {
+		if holds(k) {
+			k++
+			continue
+		}
+		lo := k
+		for k < m && !holds(k) {
+			k++
+		}
+		ivs = append(ivs, Interval{P: p, Lo: lo, Hi: k - 1})
+	}
+	return ivs
+}
+
+// TrueEverywhere reports whether holds is true at every state of p.
+func (d *Deposet) TrueEverywhere(p int, holds func(k int) bool) bool {
+	for k := 0; k < d.lens[p]; k++ {
+		if !holds(k) {
+			return false
+		}
+	}
+	return true
+}

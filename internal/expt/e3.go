@@ -1,0 +1,31 @@
+package expt
+
+import (
+	"predctl/internal/offline"
+)
+
+// E3 reproduces the §5 message-complexity remark for the paper's
+// flagship special case, two-process mutual exclusion: "there would be
+// one message for each critical section, in the worst case".
+func E3(int64) *Table {
+	t := &Table{
+		ID:    "E3",
+		Title: "control messages for 2-process mutual exclusion (off-line)",
+		Claim: "at most one control message per critical section (§5 Evaluation)",
+		Columns: []string{
+			"critical sections/proc", "total CS", "control messages", "messages per CS",
+		},
+	}
+	for _, p := range []int{1, 4, 16, 64, 256} {
+		d, dj := intervalWorkload(2, p)
+		res, err := offline.Control(d, dj, offline.Options{})
+		if err != nil {
+			panic(err)
+		}
+		total := 2 * p
+		t.Row(p, total, len(res.Relation), float64(len(res.Relation))/float64(total))
+	}
+	t.Note("independent (message-free) critical sections: the chain alternates")
+	t.Note("between the two processes, one handoff edge per crossed section.")
+	return t
+}

@@ -1,0 +1,137 @@
+// Package expt is the experiment harness: one function per evaluation
+// artifact of the paper (figures, complexity claims, and the §6/§7
+// analyses), each regenerating the corresponding result as a text table.
+// cmd/pcbench drives it; EXPERIMENTS.md records paper-vs-measured.
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Row appends a row of stringified cells.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// timeIt measures fn, repeating short runs for stability.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	if d > 10*time.Millisecond {
+		return d
+	}
+	// Too fast to trust a single run: repeat.
+	reps := 1 + int(10*time.Millisecond/(d+1))
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(reps)
+}
+
+// All runs every experiment.
+func All(seed int64) []*Table {
+	return []*Table{
+		E1(seed), E2(seed), E3(seed), E4(seed),
+		E5(seed), E6(seed), E7(), E8(seed), E9(seed),
+	}
+}
+
+// ByID returns the experiment with the given id (e1..e8), or nil.
+func ByID(id string, seed int64) *Table {
+	switch strings.ToLower(id) {
+	case "e1":
+		return E1(seed)
+	case "e2":
+		return E2(seed)
+	case "e3":
+		return E3(seed)
+	case "e4":
+		return E4(seed)
+	case "e5":
+		return E5(seed)
+	case "e6":
+		return E6(seed)
+	case "e7":
+		return E7()
+	case "e8":
+		return E8(seed)
+	case "e9":
+		return E9(seed)
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+// Package kmutex provides the (n−1)-mutual-exclusion comparison of the
+// paper's §6 Evaluation. The on-line scapegoat strategy, specialized to
+// critical sections (false-intervals = CS occupancy), solves k-mutual
+// exclusion for k = n−1 with a single *anti-token*; this package supplies
+// the baselines it is compared against — a centralized coordinator and a
+// distributed k-token algorithm — plus an uncontrolled run (showing the
+// violation control prevents), all over the same workload on the same
+// simulator.
+package kmutex
+
+import (
+	"fmt"
+
+	"predctl/internal/online"
+	"predctl/internal/sim"
+)
+
+// Workload describes the shared critical-section benchmark: each of N
+// processes alternates thinking (uniform in [1, ThinkMax]) and a critical
+// section of CS time units, Rounds times. Message delay between distinct
+// nodes is Delay (the paper's T; CS is the paper's Emax).
+type Workload struct {
+	N        int
+	K        int // concurrent CS bound; 0 means N-1
+	Rounds   int
+	ThinkMax sim.Time
+	CS       sim.Time
+	Delay    sim.Time
+	Seed     int64
+	Trace    bool
+}
+
+func (w Workload) k() int {
+	if w.K == 0 {
+		return w.N - 1
+	}
+	return w.K
+}
+
+// Metrics aggregates protocol overhead for one run.
+type Metrics struct {
+	CtlMessages int        // protocol messages (excludes zero-delay local hops)
+	Entries     int        // critical-section entries
+	Responses   []sim.Time // request → entry latency per entry
+	End         sim.Time   // completion time of the run
+}
+
+// MaxResponse returns the largest request latency.
+func (m *Metrics) MaxResponse() sim.Time {
+	var x sim.Time
+	for _, r := range m.Responses {
+		if r > x {
+			x = r
+		}
+	}
+	return x
+}
+
+// MeanResponse returns the average request latency.
+func (m *Metrics) MeanResponse() float64 {
+	if len(m.Responses) == 0 {
+		return 0
+	}
+	var t sim.Time
+	for _, r := range m.Responses {
+		t += r
+	}
+	return float64(t) / float64(len(m.Responses))
+}
+
+// MessagesPerEntry is the paper's headline overhead metric.
+func (m *Metrics) MessagesPerEntry() float64 {
+	if m.Entries == 0 {
+		return 0
+	}
+	return float64(m.CtlMessages) / float64(m.Entries)
+}
+
+func think(p *sim.Proc, w Workload) {
+	p.Work(1 + sim.Time(p.Rand().Int63n(int64(w.ThinkMax))))
+}
+
+// RunScapegoat drives the workload through the on-line predicate-control
+// strategy with B = ∨ᵢ ¬csᵢ — i.e. (n−1)-mutual exclusion via the
+// anti-token (paper Figure 3; broadcast variant per §6).
+func RunScapegoat(w Workload, broadcast bool) (*sim.Trace, *Metrics, error) {
+	if w.k() != w.N-1 {
+		return nil, nil, fmt.Errorf("kmutex: the anti-token solves only k = n-1 (n=%d, k=%d)", w.N, w.k())
+	}
+	apps := make([]func(*online.Guard), w.N)
+	m := &Metrics{}
+	for i := range apps {
+		apps[i] = func(g *online.Guard) {
+			p := g.P()
+			p.Init("cs", 0)
+			for r := 0; r < w.Rounds; r++ {
+				think(p, w)
+				resp := g.RequestFalse()
+				m.Responses = append(m.Responses, resp)
+				m.Entries++
+				p.Set("cs", 1)
+				p.Work(w.CS)
+				p.Set("cs", 0)
+				g.NowTrue()
+			}
+		}
+	}
+	tr, stats, err := online.Run(online.Config{
+		N:         w.N,
+		Delay:     w.Delay,
+		Seed:      w.Seed,
+		Trace:     w.Trace,
+		Broadcast: broadcast,
+	}, apps)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.CtlMessages = stats.CtlMessages
+	m.End = tr.Stats.End
+	return tr, m, nil
+}
+
+// RunUncontrolled runs the workload with no synchronization at all: the
+// baseline in which the bug "all processes in their critical sections"
+// is possible. Used to show what control removes.
+func RunUncontrolled(w Workload) (*sim.Trace, *Metrics, error) {
+	m := &Metrics{}
+	k := sim.New(sim.Config{Procs: w.N, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace})
+	bodies := make([]func(*sim.Proc), w.N)
+	for i := range bodies {
+		bodies[i] = func(p *sim.Proc) {
+			p.Init("cs", 0)
+			for r := 0; r < w.Rounds; r++ {
+				think(p, w)
+				m.Entries++
+				m.Responses = append(m.Responses, 0)
+				p.Set("cs", 1)
+				p.Work(w.CS)
+				p.Set("cs", 0)
+			}
+		}
+	}
+	tr, err := k.Run(bodies...)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.End = tr.Stats.End
+	return tr, m, nil
+}
+
+// --- Centralized coordinator ---
+
+type centralKind int
+
+const (
+	centralReq centralKind = iota
+	centralGrant
+	centralRelease
+)
+
+type centralMsg struct{ kind centralKind }
+
+// RunCentral runs a coordinator-based k-mutex: every entry costs a
+// request, a grant, and a release (3 messages, ≥ 2T response), the
+// textbook centralized algorithm the paper's distributed strategy is
+// contrasted with.
+func RunCentral(w Workload) (*sim.Trace, *Metrics, error) {
+	m := &Metrics{}
+	coord := w.N
+	k := sim.New(sim.Config{Procs: w.N + 1, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace})
+	bodies := make([]func(*sim.Proc), w.N+1)
+	for i := 0; i < w.N; i++ {
+		bodies[i] = func(p *sim.Proc) {
+			p.Init("cs", 0)
+			for r := 0; r < w.Rounds; r++ {
+				think(p, w)
+				start := p.Now()
+				p.Send(coord, centralMsg{centralReq})
+				m.CtlMessages++
+				for {
+					from, raw := p.Recv()
+					if from == coord && raw.(centralMsg).kind == centralGrant {
+						break
+					}
+					panic("kmutex: unexpected message at client")
+				}
+				m.Responses = append(m.Responses, p.Now()-start)
+				m.Entries++
+				p.Set("cs", 1)
+				p.Work(w.CS)
+				p.Set("cs", 0)
+				p.Send(coord, centralMsg{centralRelease})
+				m.CtlMessages++
+			}
+		}
+	}
+	bodies[coord] = func(p *sim.Proc) {
+		p.Daemon()
+		active := 0
+		var queue []int
+		for {
+			from, raw := p.Recv()
+			switch raw.(centralMsg).kind {
+			case centralReq:
+				if active < w.k() {
+					active++
+					p.Send(from, centralMsg{centralGrant})
+					m.CtlMessages++
+				} else {
+					queue = append(queue, from)
+				}
+			case centralRelease:
+				if len(queue) > 0 {
+					next := queue[0]
+					queue = queue[1:]
+					p.Send(next, centralMsg{centralGrant})
+					m.CtlMessages++
+				} else {
+					active--
+				}
+			}
+		}
+	}
+	tr, err := k.Run(bodies...)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.End = tr.Stats.End
+	return tr, m, nil
+}
+
+// --- Distributed k-token algorithm ---
+
+type tokenKind int
+
+const (
+	tokenReq tokenKind = iota
+	tokenGrant
+)
+
+type tokenMsg struct{ kind tokenKind }
+
+// RunToken runs a distributed k-token k-mutex: k tokens circulate; a
+// process holding a token enters freely, a token-less process broadcasts
+// a request and waits for any holder with a spare token to pass one on
+// (the class of algorithms the paper's anti-token is contrasted with —
+// k privileges instead of n−k liabilities).
+func RunToken(w Workload) (*sim.Trace, *Metrics, error) {
+	m := &Metrics{}
+	k := sim.New(sim.Config{Procs: w.N, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace})
+	bodies := make([]func(*sim.Proc), w.N)
+	for i := 0; i < w.N; i++ {
+		i := i
+		bodies[i] = func(p *sim.Proc) {
+			tokens := 0
+			if i < w.k() {
+				tokens = 1
+			}
+			inCS := false
+			var queue []int // deferred requests
+			grantSpare := func() {
+				for len(queue) > 0 && tokens > 0 && !(inCS && tokens == 1) {
+					to := queue[0]
+					queue = queue[1:]
+					tokens--
+					p.Send(to, tokenMsg{tokenGrant})
+					m.CtlMessages++
+				}
+			}
+			handle := func(from int, raw any) {
+				switch raw.(tokenMsg).kind {
+				case tokenReq:
+					queue = append(queue, from)
+					grantSpare()
+				case tokenGrant:
+					tokens++
+				}
+			}
+			drain := func() {
+				for {
+					from, raw, ok := p.TryRecv()
+					if !ok {
+						return
+					}
+					handle(from, raw)
+				}
+			}
+			p.Init("cs", 0)
+			for r := 0; r < w.Rounds; r++ {
+				think(p, w)
+				drain()
+				start := p.Now()
+				if tokens == 0 {
+					for q := 0; q < w.N; q++ {
+						if q != i {
+							p.Send(q, tokenMsg{tokenReq})
+							m.CtlMessages++
+						}
+					}
+					for tokens == 0 {
+						handle(p.Recv())
+					}
+				}
+				m.Responses = append(m.Responses, p.Now()-start)
+				m.Entries++
+				inCS = true
+				p.Set("cs", 1)
+				p.Work(w.CS)
+				p.Set("cs", 0)
+				inCS = false
+				drain()
+				grantSpare()
+			}
+			// Keep serving token requests as a daemon so late requesters
+			// are never starved by an early finisher hoarding tokens.
+			p.Daemon()
+			for {
+				handle(p.Recv())
+				grantSpare()
+			}
+		}
+	}
+	tr, err := k.Run(bodies...)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.End = tr.Stats.End
+	return tr, m, nil
+}

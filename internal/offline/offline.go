@@ -1,0 +1,399 @@
+// Package offline implements the paper's primary contribution: off-line
+// predicate control. Given a traced computation (deposet) and a safety
+// predicate B, it synthesizes a control relation — extra causal
+// dependencies realized as control messages — such that every global
+// sequence of the controlled replay satisfies B, or reports that B is
+// infeasible for the trace.
+//
+// Control (this file) solves the disjunctive case B = l1 ∨ … ∨ ln in
+// O(n²p·log p) time for n processes with at most p false-intervals each,
+// emitting at most one control message per chain handoff (O(np) total,
+// the paper's bound). It builds the same alternating chain of true
+// intervals and backward control arrows as the paper's Figure 2, but
+// anchors every link to an explicitly constructed linearization, making
+// interference (runtime deadlock) impossible by construction; see
+// ControlFigure2 for the literal pseudocode and the gap this closes.
+// ControlGeneral (general.go) handles arbitrary predicates by exhaustive
+// search — exponential, as it must be: Theorem 1 shows the general
+// problem is NP-hard.
+package offline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"predctl/internal/control"
+	"predctl/internal/deposet"
+	"predctl/internal/detect"
+	"predctl/internal/predicate"
+)
+
+// ErrInfeasible is returned when no control strategy can enforce B: some
+// set of false-intervals overlaps (paper Lemma 2), so every interleaving
+// of the computation passes through a B-violating global state.
+var ErrInfeasible = errors.New("offline: no controller exists (predicate infeasible for this computation)")
+
+// Result carries the synthesized control relation and diagnostics.
+type Result struct {
+	// Relation is the control relation ⟶C to impose during replay.
+	Relation control.Relation
+	// Iterations counts chain handoffs (Control) or main-loop iterations
+	// (ControlFigure2); the paper bounds it, and so the relation size,
+	// by np.
+	Iterations int
+	// Witness, set when Control fails with ErrInfeasible, holds an
+	// overlapping set of false-intervals proving infeasibility.
+	Witness []deposet.Interval
+	// Fallback reports that the chain greedy got stuck on a feasible
+	// instance and the exhaustive general controller was used instead.
+	// Never observed in testing; present so benchmarks can assert the
+	// polynomial path was taken.
+	Fallback bool
+}
+
+// Options tune the algorithms; the zero value is deterministic.
+type Options struct {
+	// Rand, when non-nil, randomizes selection order (the paper's
+	// select()); nil scans in process order.
+	Rand *rand.Rand
+	// Naive (ControlFigure2 only) recomputes the ValidPairs set from
+	// scratch each iteration — the O(n³p) implementation the paper's
+	// Evaluation section contrasts with the optimized O(n²p) one.
+	Naive bool
+	// PreferLate (Control only) orders handoff candidates latest-entry
+	// first instead of earliest-first. The chain then jumps to the most
+	// durable true segments: far fewer control messages, but far less
+	// concurrency retained (long stretches of the computation get
+	// serialized). Exposed for the ablation in EXPERIMENTS.md; the
+	// paper's §5 Evaluation argues for the concurrency-preserving
+	// default.
+	PreferLate bool
+}
+
+// chain is the under-construction control strategy: a chain of true
+// segments linked by backward control edges, as in the paper's Figure 2.
+type chain struct {
+	d   *deposet.Deposet
+	n   int
+	ivs [][]deposet.Interval // false-intervals per process
+
+	g        deposet.Cut // scheduled frontier (a consistent cut)
+	minEntry []int       // earliest state at which p may hold again
+
+	holder int
+	hEnd   int // segment end: first false state after the holder's entry; Len(holder) if none
+
+	rel      control.Relation
+	handoffs int
+}
+
+// Control synthesizes a controller for the disjunctive predicate dj on d.
+// On success the returned relation never interferes with the
+// computation's causality and the controlled deposet satisfies dj in
+// every consistent global state; on ErrInfeasible the Result carries a
+// witness overlapping interval set.
+//
+// The construction maintains one *holder*: a process known to be inside
+// a true segment of the schedule built so far. To let the holder h
+// approach its next false-interval (entered at state hEnd), a new holder
+// h′ must first enter a true segment at some state y, with the control
+// edge (h′, y−1) ⟶C (h, hEnd) recording the obligation. The pair (h′, y)
+// is admissible iff entering y is not itself causally forced after h
+// enters its false-interval (¬ (h, hEnd−1) → (h′, y)); scheduling then
+// extends the frontier by y's causal closure, so every edge points
+// backward along one linearization and the relation is acyclic by
+// construction. Each handoff retires one false-interval of the old
+// holder, bounding handoffs — and control messages — by n(p+1).
+//
+// Handoff choices are explored depth-first, earliest admissible entries
+// first (preserving concurrency; see Options.PreferLate for the
+// ablation) with restarts as a last resort; dead states are memoized, so
+// the common case is a straight greedy run (O(n²p·log p)) and
+// pathological instances degrade gracefully instead of failing.
+func Control(d *deposet.Deposet, dj *predicate.Disjunction, opts Options) (*Result, error) {
+	if dj.NumProcs() != d.NumProcs() {
+		return nil, fmt.Errorf("offline: predicate ranges over %d processes, computation has %d",
+			dj.NumProcs(), d.NumProcs())
+	}
+	n := d.NumProcs()
+	c := &chain{
+		d:        d,
+		n:        n,
+		ivs:      make([][]deposet.Interval, n),
+		g:        d.BottomCut(),
+		minEntry: make([]int, n),
+		holder:   -1,
+	}
+	for p := 0; p < n; p++ {
+		p := p
+		c.ivs[p] = d.FalseIntervals(p, func(k int) bool { return dj.Holds(d, p, k) })
+	}
+	res := &Result{}
+
+	// Initial holder: any process true at ⊥.
+	for p := 0; p < n; p++ {
+		if len(c.ivs[p]) == 0 || c.ivs[p][0].Lo != 0 {
+			c.holder = p
+			c.hEnd = c.segmentEnd(p, 0)
+			break
+		}
+	}
+	if c.holder == -1 {
+		// Every process is false at ⊥: the initial state itself violates
+		// B, and the first intervals overlap pairwise via their ⊥ clause.
+		for p := 0; p < n; p++ {
+			res.Witness = append(res.Witness, c.ivs[p][0])
+		}
+		return res, ErrInfeasible
+	}
+
+	if !c.search(map[string]bool{}, opts) {
+		return c.giveUp(d, dj, res)
+	}
+	res.Relation = c.rel
+	res.Iterations = c.handoffs
+	return res, nil
+}
+
+// snapshot captures the mutable chain state for backtracking. Ordinary
+// handoffs only append to the relation, so restoring truncates; only a
+// restart (which wipes the relation) needs a full copy.
+type snapshot struct {
+	g        deposet.Cut
+	minEntry []int
+	holder   int
+	hEnd     int
+	relLen   int
+	relCopy  control.Relation // non-nil only when the branch restarts
+	handoffs int
+}
+
+func (c *chain) save(isRestart bool) snapshot {
+	s := snapshot{
+		g:        c.g.Clone(),
+		minEntry: append([]int(nil), c.minEntry...),
+		holder:   c.holder,
+		hEnd:     c.hEnd,
+		relLen:   len(c.rel),
+		handoffs: c.handoffs,
+	}
+	if isRestart {
+		s.relCopy = append(control.Relation(nil), c.rel...)
+	}
+	return s
+}
+
+func (c *chain) restore(s snapshot) {
+	c.g = s.g
+	c.minEntry = s.minEntry
+	c.holder = s.holder
+	c.hEnd = s.hEnd
+	if s.relCopy != nil {
+		c.rel = s.relCopy
+	} else {
+		c.rel = c.rel[:s.relLen]
+	}
+	c.handoffs = s.handoffs
+}
+
+// key identifies the search state for dead-state memoization.
+func (c *chain) key() string {
+	var b []byte
+	b = append(b, byte(c.holder), byte(c.hEnd))
+	for i := range c.g {
+		b = appendInt(b, c.g[i])
+		b = appendInt(b, c.minEntry[i])
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16))
+}
+
+// apply performs the handoff to (h2, y): emit (or restart) the chain
+// edge, retire the old holder's interval, and extend the scheduled
+// frontier by y's causal closure.
+func (c *chain) apply(h2, y int) {
+	if y == 0 {
+		c.rel = c.rel[:0] // chain restarts at ⊥ of h2
+	} else {
+		c.rel = append(c.rel, control.Edge{
+			From: deposet.StateID{P: h2, K: y - 1},
+			To:   deposet.StateID{P: c.holder, K: c.hEnd},
+		})
+	}
+	c.minEntry[c.holder] = c.intervalAt(c.holder, c.hEnd).Hi + 1
+	clock := c.d.Clock(deposet.StateID{P: h2, K: y})
+	for i := 0; i < c.n; i++ {
+		if i != h2 && clock[i]+1 > c.g[i] {
+			c.g[i] = clock[i] + 1
+		}
+	}
+	if y > c.g[h2] {
+		c.g[h2] = y
+	}
+	c.holder = h2
+	c.hEnd = c.segmentEnd(h2, y)
+	c.handoffs++
+}
+
+// search extends the chain until the holder's segment reaches ⊤,
+// backtracking over handoff choices. failed memoizes dead states.
+func (c *chain) search(failed map[string]bool, opts Options) bool {
+	if c.hEnd == c.d.Len(c.holder) {
+		return true
+	}
+	key := c.key()
+	if failed[key] {
+		return false
+	}
+	for _, cand := range c.candidates(opts) {
+		s := c.save(cand.y == 0)
+		c.apply(cand.p, cand.y)
+		if c.search(failed, opts) {
+			return true
+		}
+		c.restore(s)
+	}
+	failed[key] = true
+	return false
+}
+
+// segmentEnd returns the first false state of p after (or at) entry —
+// the Lo of the first false-interval with Lo > entry is not right: entry
+// itself is true, so it is the Lo of the first interval starting after
+// entry — or Len(p) when the segment runs to ⊤.
+func (c *chain) segmentEnd(p, entry int) int {
+	ivs := c.ivs[p]
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].Lo > entry })
+	if i == len(ivs) {
+		return c.d.Len(p)
+	}
+	return ivs[i].Lo
+}
+
+// intervalAt returns the false-interval of p starting at state lo.
+func (c *chain) intervalAt(p, lo int) deposet.Interval {
+	ivs := c.ivs[p]
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].Lo >= lo })
+	if i == len(ivs) || ivs[i].Lo != lo {
+		panic("offline: no interval at expected position")
+	}
+	return ivs[i]
+}
+
+// entryAfter returns the earliest true state y ≥ from on p, or ok=false.
+func (c *chain) entryAfter(p, from int) (int, bool) {
+	if from >= c.d.Len(p) {
+		return 0, false
+	}
+	ivs := c.ivs[p]
+	// Find the interval containing `from`, if any.
+	i := sort.Search(len(ivs), func(i int) bool { return ivs[i].Hi >= from })
+	if i == len(ivs) || ivs[i].Lo > from {
+		return from, true // from itself is true
+	}
+	if y := ivs[i].Hi + 1; y < c.d.Len(p) {
+		return y, true
+	}
+	return 0, false // false through ⊤
+}
+
+// candidate is one possible handoff: process p entering a true segment
+// at state y.
+type candidate struct{ p, y int }
+
+// candidates enumerates the admissible handoffs from the current state:
+// for each process p ≠ holder, every true-segment entry y with
+// y ≥ max(g[p], minEntry[p]) and ¬ blockState → (p, y). The block test
+// is monotone in y, so each process contributes a prefix of its entries,
+// located by binary search.
+//
+// Order encodes the search heuristic: earliest entries first,
+// round-robin across processes. An early entry keeps the chain close to
+// the computation — one short synchronization per interval, maximizing
+// the concurrency the paper's §5 Evaluation calls for — while later
+// entries (which serialize more) remain available to the backtracking
+// search when the greedy path dead-ends.
+func (c *chain) candidates(opts Options) []candidate {
+	order := make([]int, 0, c.n-1)
+	for p := 0; p < c.n; p++ {
+		if p != c.holder {
+			order = append(order, p)
+		}
+	}
+	if opts.Rand != nil {
+		opts.Rand.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	block := deposet.StateID{P: c.holder, K: c.hEnd - 1}
+	perProc := make([][]candidate, 0, len(order))
+	maxLen := 0
+	for _, p := range order {
+		from := c.g[p]
+		if c.minEntry[p] > from {
+			from = c.minEntry[p]
+		}
+		first, found := c.entryAfter(p, from)
+		if !found || c.d.HB(block, deposet.StateID{P: p, K: first}) {
+			continue
+		}
+		list := []candidate{{p, first}}
+		// Post-interval entries after `first`, admissible prefix.
+		ivs := c.ivs[p]
+		lo := sort.Search(len(ivs), func(i int) bool { return ivs[i].Hi+1 > first })
+		span := ivs[lo:]
+		adm := sort.Search(len(span), func(i int) bool {
+			yy := span[i].Hi + 1
+			return yy >= c.d.Len(p) || c.d.HB(block, deposet.StateID{P: p, K: yy})
+		})
+		for i := 0; i < adm; i++ { // ascending
+			list = append(list, candidate{p, span[i].Hi + 1})
+		}
+		if opts.PreferLate {
+			for i, j := 0, len(list)-1; i < j; i, j = i+1, j-1 {
+				list[i], list[j] = list[j], list[i]
+			}
+		}
+		perProc = append(perProc, list)
+		if len(list) > maxLen {
+			maxLen = len(list)
+		}
+	}
+	var out, restarts []candidate
+	for rank := 0; rank < maxLen; rank++ {
+		for _, list := range perProc {
+			if rank < len(list) {
+				if list[rank].y == 0 {
+					// A restart discards the chain built so far; keep it
+					// available but as a last resort.
+					restarts = append(restarts, list[rank])
+				} else {
+					out = append(out, list[rank])
+				}
+			}
+		}
+	}
+	return append(out, restarts...)
+}
+
+// giveUp resolves a stuck greedy: if the instance is genuinely
+// infeasible, report it with the overlap witness; otherwise fall back to
+// the exhaustive general controller (tracked in Result.Fallback).
+func (c *chain) giveUp(d *deposet.Deposet, dj *predicate.Disjunction, res *Result) (*Result, error) {
+	witness, definitely := detect.DefinitelyTruth(d, func(p, k int) bool { return !dj.Holds(d, p, k) })
+	if definitely {
+		res.Witness = witness
+		return res, ErrInfeasible
+	}
+	rel, _, err := ControlGeneral(d, dj.Expr())
+	if err != nil {
+		res.Witness = nil
+		return res, err
+	}
+	res.Relation = rel
+	res.Fallback = true
+	return res, nil
+}

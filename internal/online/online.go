@@ -1,0 +1,370 @@
+// Package online implements the paper's on-line disjunctive predicate
+// control (Figure 3): maintain B = l1 ∨ … ∨ ln over a computation as it
+// runs, without knowing it in advance.
+//
+// Theorem 3 shows the unrestricted problem is unsolvable, so the
+// strategy assumes A1 (no process blocks while its local predicate is
+// false) and A2 (local predicates hold in final states). One controller
+// is the scapegoat — the holder of an "anti-token", a liability rather
+// than a privilege: its process must stay true until another controller,
+// currently true, agrees to take the role over. The scapegoat requests
+// the handoff with req, the successor replies ack (possibly deferred
+// until its process is true again), and only then may the old
+// scapegoat's process go false. Specialized to critical sections this
+// solves (n−1)-mutual exclusion with 2 control messages per handoff and
+// handoff response time in [2T, 2T+Emax] (paper §6).
+//
+// The broadcast variant (paper §6, Evaluation) trades messages for
+// latency: the scapegoat asks every controller at once and proceeds on
+// the first ack. A subtlety the paper does not spell out: letting every
+// responder keep the scapegoat role is safe in real time but NOT under
+// the paper's own deposet semantics — with several independent scapegoat
+// chains, a rotation of ack causalities admits a *consistent cut* in
+// which every process is false (found by the property tests in this
+// package). The implementation therefore completes a broadcast handoff
+// with a confirm/cancel round: responders hold themselves true while
+// tentative, exactly one receives confirm and inherits the anti-token,
+// and the rest are released, preserving the single chain that makes
+// every consistent cut satisfy B.
+//
+// Controllers run as daemon processes on the sim kernel, co-located with
+// their application process (zero-delay local channel), exactly as the
+// paper's "control system is a distinct distributed system" prescribes.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"predctl/internal/sim"
+)
+
+// kind discriminates protocol payloads.
+type kind int
+
+const (
+	kindMayFalse kind = iota // app → own controller: request to go false
+	kindGrant                // controller → own app: permission
+	kindNowTrue              // app → own controller: local predicate true again
+	kindReq                  // controller → controller: take the scapegoat role
+	kindAck                  // controller → controller: role taken (tentatively, for broadcast)
+	kindConfirm              // controller → controller: broadcast winner keeps the role
+	kindCancel               // controller → controller: broadcast loser is released
+	kindApp                  // app → app payload (guard-wrapped)
+)
+
+type envelope struct {
+	kind    kind
+	payload any
+}
+
+// Stats aggregates a run's control overhead. All fields are written
+// under the simulator's single-active-process discipline.
+type Stats struct {
+	CtlMessages int        // req + ack messages between controllers
+	Handoffs    int        // scapegoat role transfers
+	Requests    int        // RequestFalse calls
+	Responses   []sim.Time // per-request latency (0 for non-scapegoats)
+}
+
+// MaxResponse returns the largest observed request latency.
+func (s *Stats) MaxResponse() sim.Time {
+	var m sim.Time
+	for _, r := range s.Responses {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// MeanResponse returns the average request latency.
+func (s *Stats) MeanResponse() float64 {
+	if len(s.Responses) == 0 {
+		return 0
+	}
+	var t sim.Time
+	for _, r := range s.Responses {
+		t += r
+	}
+	return float64(t) / float64(len(s.Responses))
+}
+
+// Config parameterizes a controlled system.
+type Config struct {
+	N         int      // application processes
+	Delay     sim.Time // message delay T between distinct nodes
+	Seed      int64
+	Trace     bool
+	Broadcast bool // use the broadcast variant
+	Scapegoat int  // index of the initial scapegoat's process (init(i))
+	MaxEvents int
+	// InitFalse marks processes whose local predicate is false at start
+	// (e.g. after_e before the event e has happened). Such a process
+	// answers scapegoat requests only once it reports NowTrue, and it
+	// cannot be the initial scapegoat. nil means all start true.
+	InitFalse []bool
+}
+
+// Run executes the application bodies under on-line control and returns
+// the trace (apps are processes 0..N-1, controllers N..2N-1), statistics,
+// and any simulation failure. Application processes must satisfy A1/A2:
+// start true, end true, and never block while false.
+func Run(cfg Config, apps []func(*Guard)) (*sim.Trace, *Stats, error) {
+	if cfg.N < 2 {
+		// Theorem 3 territory: with one process there is no one to hand
+		// the anti-token to, so control degenerates to "never go false".
+		return nil, nil, fmt.Errorf("online: need at least 2 processes, got %d", cfg.N)
+	}
+	if len(apps) != cfg.N {
+		return nil, nil, fmt.Errorf("online: %d app bodies for %d processes", len(apps), cfg.N)
+	}
+	if cfg.Scapegoat < 0 || cfg.Scapegoat >= cfg.N {
+		return nil, nil, fmt.Errorf("online: initial scapegoat %d out of range", cfg.Scapegoat)
+	}
+	if cfg.InitFalse != nil {
+		if len(cfg.InitFalse) != cfg.N {
+			return nil, nil, fmt.Errorf("online: InitFalse has %d entries for %d processes", len(cfg.InitFalse), cfg.N)
+		}
+		if cfg.InitFalse[cfg.Scapegoat] {
+			return nil, nil, fmt.Errorf("online: initial scapegoat %d starts false", cfg.Scapegoat)
+		}
+	}
+	n := cfg.N
+	delay := func(from, to int, _ *rand.Rand) sim.Time {
+		if from%n == to%n { // app ↔ its controller: local channel
+			return 0
+		}
+		return cfg.Delay
+	}
+	stats := &Stats{}
+	k := sim.New(sim.Config{
+		Procs:     2 * n,
+		Delay:     delay,
+		Seed:      cfg.Seed,
+		Trace:     cfg.Trace,
+		MaxEvents: cfg.MaxEvents,
+	})
+	bodies := make([]func(*sim.Proc), 2*n)
+	for i := 0; i < n; i++ {
+		i := i
+		bodies[i] = func(p *sim.Proc) {
+			g := &Guard{p: p, n: n, stats: stats}
+			apps[i](g)
+		}
+		bodies[n+i] = func(p *sim.Proc) {
+			c := &controller{
+				p:         p,
+				n:         n,
+				scapegoat: i == cfg.Scapegoat,
+				localTrue: cfg.InitFalse == nil || !cfg.InitFalse[i],
+				broadcast: cfg.Broadcast,
+				stats:     stats,
+			}
+			c.run()
+		}
+	}
+	tr, err := k.Run(bodies...)
+	return tr, stats, err
+}
+
+// Guard is the application-side handle: it talks to the co-located
+// controller and relays application messages.
+type Guard struct {
+	p     *sim.Proc
+	n     int
+	stats *Stats
+	inbox []appMsg // app messages received while waiting for a grant
+}
+
+type appMsg struct {
+	from    int
+	payload any
+}
+
+// P exposes the underlying simulated process (Work, Set, Now, Rand).
+func (g *Guard) P() *sim.Proc { return g.p }
+
+// ID returns the application process index.
+func (g *Guard) ID() int { return g.p.ID() }
+
+// N returns the number of application processes.
+func (g *Guard) N() int { return g.n }
+
+func (g *Guard) ctl() int { return g.p.ID() + g.n }
+
+// RequestFalse blocks until the controller permits the local predicate
+// to become false (A1 is the caller's obligation: do not block while
+// false). It returns the latency of the request.
+func (g *Guard) RequestFalse() sim.Time {
+	start := g.p.Now()
+	g.p.Send(g.ctl(), envelope{kind: kindMayFalse})
+	for {
+		from, raw := g.p.Recv()
+		env := raw.(envelope)
+		switch env.kind {
+		case kindGrant:
+			d := g.p.Now() - start
+			g.stats.Requests++
+			g.stats.Responses = append(g.stats.Responses, d)
+			return d
+		case kindApp:
+			g.inbox = append(g.inbox, appMsg{from, env.payload})
+		default:
+			panic(fmt.Sprintf("online: app received unexpected control message %v", env.kind))
+		}
+	}
+}
+
+// NowTrue notifies the controller that the local predicate holds again.
+func (g *Guard) NowTrue() {
+	g.p.Send(g.ctl(), envelope{kind: kindNowTrue})
+}
+
+// Send delivers an application payload to application process `to`.
+func (g *Guard) Send(to int, payload any) {
+	g.p.Send(to, envelope{kind: kindApp, payload: payload})
+}
+
+// Recv returns the next application message.
+func (g *Guard) Recv() (from int, payload any) {
+	if len(g.inbox) > 0 {
+		m := g.inbox[0]
+		g.inbox = g.inbox[1:]
+		return m.from, m.payload
+	}
+	for {
+		from, raw := g.p.Recv()
+		env := raw.(envelope)
+		if env.kind == kindApp {
+			return from, env.payload
+		}
+		panic(fmt.Sprintf("online: app received unexpected control message %v", env.kind))
+	}
+}
+
+// controller runs the paper's Figure 3 strategy as a daemon process.
+type controller struct {
+	p          *sim.Proc
+	n          int
+	scapegoat  bool
+	localTrue  bool
+	broadcast  bool
+	waitingAck bool
+	wantGrant  bool  // the app asked to go false and is waiting
+	tentative  int   // broadcast: acks issued, awaiting confirm/cancel
+	pending    []int // controllers whose req awaits our next true period
+	deferred   []int // reqs received while we were waiting for an ack
+	stats      *Stats
+}
+
+func (c *controller) send(to int, k kind) {
+	c.p.Send(to, envelope{kind: k})
+	c.stats.CtlMessages++
+}
+
+func (c *controller) run() {
+	c.p.Daemon()
+	app := c.p.ID() - c.n
+	for {
+		from, raw := c.p.Recv()
+		env := raw.(envelope)
+		switch env.kind {
+		case kindMayFalse:
+			c.wantGrant = true
+			c.maybeProceed(app)
+		case kindAck:
+			if !c.waitingAck {
+				// A later ack of an already-completed broadcast round:
+				// release the tentative responder.
+				if c.broadcast {
+					c.send(from, kindCancel)
+				}
+				continue
+			}
+			c.waitingAck = false
+			c.scapegoat = false
+			c.stats.Handoffs++
+			if c.broadcast {
+				c.send(from, kindConfirm)
+			}
+			c.grant(app)
+			for _, j := range c.deferred {
+				c.handleReq(j)
+			}
+			c.deferred = c.deferred[:0]
+		case kindReq:
+			if c.waitingAck {
+				// Answering now could hand our own anti-token away while
+				// another one is already travelling to us; defer.
+				c.deferred = append(c.deferred, from)
+				continue
+			}
+			c.handleReq(from)
+		case kindConfirm:
+			c.scapegoat = true
+			c.tentative--
+			c.maybeProceed(app)
+		case kindCancel:
+			c.tentative--
+			c.maybeProceed(app)
+		case kindNowTrue:
+			c.localTrue = true
+			for _, j := range c.pending {
+				c.handleReq(j)
+			}
+			c.pending = c.pending[:0]
+		default:
+			panic(fmt.Sprintf("online: controller received unexpected message %v", env.kind))
+		}
+	}
+}
+
+// maybeProceed advances a waiting mayFalse request whenever the state
+// allows: a tentative responder stays true until released; a scapegoat
+// must first hand the anti-token off; anyone else is granted at once.
+func (c *controller) maybeProceed(app int) {
+	if !c.wantGrant || c.tentative > 0 || c.waitingAck {
+		return
+	}
+	if !c.scapegoat {
+		c.grant(app)
+		return
+	}
+	c.waitingAck = true
+	if c.broadcast {
+		for t := c.n; t < 2*c.n; t++ {
+			if t != c.p.ID() {
+				c.send(t, kindReq)
+			}
+		}
+		return
+	}
+	t := c.n + c.p.Rand().Intn(c.n-1)
+	if t >= c.p.ID() {
+		t++
+	}
+	c.send(t, kindReq)
+}
+
+func (c *controller) grant(app int) {
+	c.localTrue = false
+	c.wantGrant = false
+	c.p.Send(app, envelope{kind: kindGrant})
+}
+
+func (c *controller) handleReq(j int) {
+	if !c.localTrue {
+		c.pending = append(c.pending, j)
+		return
+	}
+	if c.broadcast {
+		// Tentative: hold ourselves true until the requester confirms or
+		// cancels; the role transfers only with the confirm.
+		c.tentative++
+		c.send(j, kindAck)
+		return
+	}
+	c.scapegoat = true
+	c.send(j, kindAck)
+}

@@ -1,0 +1,273 @@
+package predicate
+
+import (
+	"fmt"
+	"strings"
+
+	"predctl/internal/deposet"
+)
+
+// Disjunction is a predicate in the paper's disjunctive form
+// B = l1 ∨ l2 ∨ … ∨ ln, with at most one local predicate per process.
+// Processes without a local predicate contribute the constant false (they
+// can never discharge B). This is the class the off-line and on-line
+// control algorithms accept.
+type Disjunction struct {
+	n      int
+	locals []LocalFn // indexed by process; nil means constant false
+	names  []string
+}
+
+// NewDisjunction starts an empty disjunction over n processes (constant
+// false until locals are added).
+func NewDisjunction(n int) *Disjunction {
+	return &Disjunction{n: n, locals: make([]LocalFn, n), names: make([]string, n)}
+}
+
+// Add sets the local predicate (disjunct) of process p. At most one local
+// per process; adding a second panics, since l ∨ l' of one process is a
+// single local predicate and should be expressed as one.
+func (dj *Disjunction) Add(p int, name string, fn LocalFn) *Disjunction {
+	if dj.locals[p] != nil {
+		panic(fmt.Sprintf("predicate: process %d already has a disjunct", p))
+	}
+	dj.locals[p] = fn
+	dj.names[p] = name
+	return dj
+}
+
+// NumProcs returns the number of processes the disjunction ranges over.
+func (dj *Disjunction) NumProcs() int { return dj.n }
+
+// HasLocal reports whether process p contributes a disjunct.
+func (dj *Disjunction) HasLocal(p int) bool { return dj.locals[p] != nil }
+
+// Holds evaluates the local predicate lp at state (p, k); processes
+// without a disjunct are always false.
+func (dj *Disjunction) Holds(d *deposet.Deposet, p, k int) bool {
+	if dj.locals[p] == nil {
+		return false
+	}
+	return dj.locals[p](d, k)
+}
+
+// Eval evaluates the disjunction at global state g.
+func (dj *Disjunction) Eval(d *deposet.Deposet, g deposet.Cut) bool {
+	for p := 0; p < dj.n; p++ {
+		if dj.Holds(d, p, g[p]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Expr returns the disjunction as a general predicate expression.
+func (dj *Disjunction) Expr() Expr {
+	var xs []Expr
+	for p := 0; p < dj.n; p++ {
+		if dj.locals[p] != nil {
+			xs = append(xs, Local(p, dj.names[p], dj.locals[p]))
+		}
+	}
+	return Or(xs...)
+}
+
+func (dj *Disjunction) String() string {
+	var parts []string
+	for p := 0; p < dj.n; p++ {
+		if dj.locals[p] != nil {
+			parts = append(parts, fmt.Sprintf("%s@P%d", dj.names[p], p))
+		}
+	}
+	if len(parts) == 0 {
+		return "false"
+	}
+	return strings.Join(parts, " ∨ ")
+}
+
+// Truth materializes the per-state truth table of the disjunction's
+// locals on d: Truth[p][k] = lp(p, k).
+func (dj *Disjunction) Truth(d *deposet.Deposet) [][]bool {
+	t := make([][]bool, dj.n)
+	for p := 0; p < dj.n; p++ {
+		t[p] = make([]bool, d.Len(p))
+		for k := range t[p] {
+			t[p][k] = dj.Holds(d, p, k)
+		}
+	}
+	return t
+}
+
+// DisjunctionFromTruth builds a disjunction directly from a truth table
+// (used by generators and benchmarks): truth[p][k] is lp at state (p,k).
+func DisjunctionFromTruth(truth [][]bool) *Disjunction {
+	dj := NewDisjunction(len(truth))
+	for p := range truth {
+		tp := truth[p]
+		dj.Add(p, fmt.Sprintf("l%d", p), func(_ *deposet.Deposet, k int) bool {
+			return tp[k]
+		})
+	}
+	return dj
+}
+
+// AsDisjunction recognizes expressions of the form l1 ∨ … ∨ lk (arbitrary
+// nesting of Or over Local leaves, each process at most once) over n
+// processes. It returns false for anything else — including And, Not, and
+// two locals on one process (which would need merging the caller should
+// do explicitly).
+func AsDisjunction(e Expr, n int) (*Disjunction, bool) {
+	dj := NewDisjunction(n)
+	ok := collectDisjuncts(e, dj)
+	return dj, ok
+}
+
+func collectDisjuncts(e Expr, dj *Disjunction) bool {
+	switch x := e.(type) {
+	case *localExpr:
+		if x.p < 0 || x.p >= dj.n || dj.locals[x.p] != nil {
+			return false
+		}
+		dj.locals[x.p] = x.fn
+		dj.names[x.p] = x.name
+		return true
+	case *orExpr:
+		for _, sub := range x.xs {
+			if !collectDisjuncts(sub, dj) {
+				return false
+			}
+		}
+		return true
+	case *constExpr:
+		// false is the identity of ∨; true is not disjunctive-with-locals.
+		return !x.v
+	default:
+		return false
+	}
+}
+
+// AsConjunction recognizes expressions of the form q1 ∧ … ∧ qk
+// (arbitrary nesting of And over Local leaves, each process at most
+// once) over n processes — the detectable class. It returns false for
+// anything else.
+func AsConjunction(e Expr, n int) (*Conjunction, bool) {
+	cj := NewConjunction(n)
+	ok := collectConjuncts(e, cj)
+	return cj, ok
+}
+
+func collectConjuncts(e Expr, cj *Conjunction) bool {
+	switch x := e.(type) {
+	case *localExpr:
+		if x.p < 0 || x.p >= cj.n || cj.locals[x.p] != nil {
+			return false
+		}
+		cj.locals[x.p] = x.fn
+		cj.names[x.p] = x.name
+		return true
+	case *andExpr:
+		for _, sub := range x.xs {
+			if !collectConjuncts(sub, cj) {
+				return false
+			}
+		}
+		return true
+	case *constExpr:
+		// true is the identity of ∧; false is not conjunctive-with-locals.
+		return x.v
+	default:
+		return false
+	}
+}
+
+// Conjunction is a predicate of the form q1 ∧ q2 ∧ … ∧ qn with at most
+// one local predicate per process; processes without a conjunct are
+// constant true. This is the class accepted by the detection algorithms
+// (possibly/definitely). The negation of a disjunctive predicate is a
+// conjunction, which is how control and detection meet: a deposet
+// satisfies B = ∨ li iff ¬possibly(∧ ¬li).
+type Conjunction struct {
+	n      int
+	locals []LocalFn // nil means constant true
+	names  []string
+}
+
+// NewConjunction starts an empty conjunction over n processes (constant
+// true until conjuncts are added).
+func NewConjunction(n int) *Conjunction {
+	return &Conjunction{n: n, locals: make([]LocalFn, n), names: make([]string, n)}
+}
+
+// Add sets the conjunct of process p.
+func (cj *Conjunction) Add(p int, name string, fn LocalFn) *Conjunction {
+	if cj.locals[p] != nil {
+		panic(fmt.Sprintf("predicate: process %d already has a conjunct", p))
+	}
+	cj.locals[p] = fn
+	cj.names[p] = name
+	return cj
+}
+
+// NumProcs returns the number of processes the conjunction ranges over.
+func (cj *Conjunction) NumProcs() int { return cj.n }
+
+// Holds evaluates the conjunct qp at state (p, k); processes without a
+// conjunct are always true.
+func (cj *Conjunction) Holds(d *deposet.Deposet, p, k int) bool {
+	if cj.locals[p] == nil {
+		return true
+	}
+	return cj.locals[p](d, k)
+}
+
+// Eval evaluates the conjunction at global state g.
+func (cj *Conjunction) Eval(d *deposet.Deposet, g deposet.Cut) bool {
+	for p := 0; p < cj.n; p++ {
+		if !cj.Holds(d, p, g[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Expr returns the conjunction as a general predicate expression.
+func (cj *Conjunction) Expr() Expr {
+	var xs []Expr
+	for p := 0; p < cj.n; p++ {
+		if cj.locals[p] != nil {
+			xs = append(xs, Local(p, cj.names[p], cj.locals[p]))
+		}
+	}
+	return And(xs...)
+}
+
+func (cj *Conjunction) String() string {
+	var parts []string
+	for p := 0; p < cj.n; p++ {
+		if cj.locals[p] != nil {
+			parts = append(parts, fmt.Sprintf("%s@P%d", cj.names[p], p))
+		}
+	}
+	if len(parts) == 0 {
+		return "true"
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Negate returns the conjunction ∧p ¬lp of a disjunction ∨p lp. Processes
+// without a disjunct (constant false) become constant-true conjuncts...
+// which is exactly "¬false". Used to hand B's complement to the detectors.
+func (dj *Disjunction) Negate() *Conjunction {
+	cj := NewConjunction(dj.n)
+	for p := 0; p < dj.n; p++ {
+		fn := dj.locals[p]
+		if fn == nil {
+			continue // ¬false = true = absent conjunct
+		}
+		f := fn
+		cj.Add(p, "¬"+dj.names[p], func(d *deposet.Deposet, k int) bool {
+			return !f(d, k)
+		})
+	}
+	return cj
+}

@@ -1,0 +1,313 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predctl/internal/deposet"
+)
+
+// twoProc builds a 2-process computation with 3 states each and variables
+// x (on P0) and y (on P1) stepping 0,1,2.
+func twoProc(t testing.TB) *deposet.Deposet {
+	b := deposet.NewBuilder(2)
+	b.Let(0, "x", 0)
+	b.Let(1, "y", 0)
+	b.Step(0)
+	b.Let(0, "x", 1)
+	b.Step(0)
+	b.Let(0, "x", 2)
+	b.Step(1)
+	b.Let(1, "y", 1)
+	b.Step(1)
+	b.Let(1, "y", 2)
+	return b.MustBuild()
+}
+
+func TestEvalBasics(t *testing.T) {
+	d := twoProc(t)
+	x1 := LocalVarEq(0, "x", 1)
+	y2 := LocalVarEq(1, "y", 2)
+	g := deposet.Cut{1, 2}
+	if !x1.Eval(d, g) || !y2.Eval(d, g) {
+		t.Fatal("local eval wrong")
+	}
+	if !And(x1, y2).Eval(d, g) {
+		t.Error("and wrong")
+	}
+	if !Or(x1, LocalVarEq(1, "y", 9)).Eval(d, g) {
+		t.Error("or wrong")
+	}
+	if Not(x1).Eval(d, g) {
+		t.Error("not wrong")
+	}
+	if !And().Eval(d, g) || Or().Eval(d, g) {
+		t.Error("empty connectives wrong")
+	}
+	if !Const(true).Eval(d, g) || Const(false).Eval(d, g) {
+		t.Error("const wrong")
+	}
+	if And(x1, Const(false)).Eval(d, g) {
+		t.Error("short-circuit and wrong")
+	}
+}
+
+func TestVarPredicates(t *testing.T) {
+	d := twoProc(t)
+	if !LocalVarTrue(0, "x").Eval(d, deposet.Cut{2, 0}) {
+		t.Error("VarTrue at x=2 should hold")
+	}
+	if LocalVarTrue(0, "x").Eval(d, deposet.Cut{0, 0}) {
+		t.Error("VarTrue at x=0 should not hold")
+	}
+	if LocalVarTrue(0, "missing").Eval(d, deposet.Cut{2, 0}) {
+		t.Error("VarTrue on unset var should not hold")
+	}
+	if LocalVarEq(0, "missing", 0).Eval(d, deposet.Cut{0, 0}) {
+		t.Error("VarEq on unset var should not hold")
+	}
+}
+
+func TestAfterBefore(t *testing.T) {
+	d := twoProc(t)
+	after := LocalAfter(0, 2)
+	before := LocalBefore(1, 1)
+	if after.Eval(d, deposet.Cut{1, 0}) || !after.Eval(d, deposet.Cut{2, 0}) {
+		t.Error("LocalAfter wrong")
+	}
+	if !before.Eval(d, deposet.Cut{0, 0}) || before.Eval(d, deposet.Cut{0, 1}) {
+		t.Error("LocalBefore wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	x := LocalVarEq(0, "x", 1)
+	y := LocalVarTrue(1, "y")
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{x, "x=1@P0"},
+		{y, "y@P1"},
+		{And(x, y), "(x=1@P0 ∧ y@P1)"},
+		{Or(x, y), "(x=1@P0 ∨ y@P1)"},
+		{Not(x), "¬x=1@P0"},
+		{And(), "true"},
+		{Or(), "false"},
+		{Const(true), "true"},
+		{Const(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDisjunction(t *testing.T) {
+	d := twoProc(t)
+	dj := NewDisjunction(2)
+	dj.Add(0, "x=2", func(dd *deposet.Deposet, k int) bool {
+		v, _ := dd.Var(deposet.StateID{P: 0, K: k}, "x")
+		return v == 2
+	})
+	if dj.NumProcs() != 2 {
+		t.Error("NumProcs wrong")
+	}
+	if !dj.HasLocal(0) || dj.HasLocal(1) {
+		t.Error("HasLocal wrong")
+	}
+	if dj.Holds(d, 1, 0) {
+		t.Error("absent disjunct must be false")
+	}
+	if !dj.Eval(d, deposet.Cut{2, 0}) || dj.Eval(d, deposet.Cut{1, 2}) {
+		t.Error("Eval wrong")
+	}
+	truth := dj.Truth(d)
+	want0 := []bool{false, false, true}
+	for k, w := range want0 {
+		if truth[0][k] != w {
+			t.Errorf("truth[0][%d] = %v, want %v", k, truth[0][k], w)
+		}
+	}
+	for k := range truth[1] {
+		if truth[1][k] {
+			t.Errorf("truth[1][%d] should be false", k)
+		}
+	}
+	if got := dj.String(); got != "x=2@P0" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewDisjunction(2).String(); got != "false" {
+		t.Errorf("empty disjunction String = %q", got)
+	}
+	// Expr round-trip evaluates identically.
+	e := dj.Expr()
+	d.ForEachConsistentCut(func(g deposet.Cut) bool {
+		if e.Eval(d, g) != dj.Eval(d, g) {
+			t.Fatalf("Expr mismatch at %v", g)
+		}
+		return true
+	})
+}
+
+func TestDisjunctionDoubleAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDisjunction(2).Add(0, "a", nilFn).Add(0, "b", nilFn)
+}
+
+func TestConjunctionDoubleAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewConjunction(2).Add(0, "a", nilFn).Add(0, "b", nilFn)
+}
+
+func nilFn(*deposet.Deposet, int) bool { return true }
+
+func TestDisjunctionFromTruth(t *testing.T) {
+	d := twoProc(t)
+	truth := [][]bool{{true, false, true}, {false, true, false}}
+	dj := DisjunctionFromTruth(truth)
+	for p := range truth {
+		for k, w := range truth[p] {
+			if dj.Holds(d, p, k) != w {
+				t.Errorf("Holds(%d,%d) = %v, want %v", p, k, !w, w)
+			}
+		}
+	}
+}
+
+func TestAsDisjunction(t *testing.T) {
+	a := Local(0, "a", nilFn)
+	b := Local(1, "b", nilFn)
+	if _, ok := AsDisjunction(Or(a, b), 2); !ok {
+		t.Error("flat or rejected")
+	}
+	if _, ok := AsDisjunction(Or(a, Or(b)), 2); !ok {
+		t.Error("nested or rejected")
+	}
+	if _, ok := AsDisjunction(a, 2); !ok {
+		t.Error("single local rejected")
+	}
+	if _, ok := AsDisjunction(Or(a, Const(false)), 2); !ok {
+		t.Error("or with false rejected")
+	}
+	if _, ok := AsDisjunction(Or(a, Const(true)), 2); ok {
+		t.Error("or with true accepted")
+	}
+	if _, ok := AsDisjunction(And(a, b), 2); ok {
+		t.Error("and accepted")
+	}
+	if _, ok := AsDisjunction(Not(a), 2); ok {
+		t.Error("not accepted")
+	}
+	if _, ok := AsDisjunction(Or(a, Local(0, "a2", nilFn)), 2); ok {
+		t.Error("two locals on one process accepted")
+	}
+	if _, ok := AsDisjunction(Local(5, "z", nilFn), 2); ok {
+		t.Error("out-of-range process accepted")
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	d := twoProc(t)
+	cj := NewConjunction(2)
+	cj.Add(0, "x>0", func(dd *deposet.Deposet, k int) bool {
+		v, _ := dd.Var(deposet.StateID{P: 0, K: k}, "x")
+		return v > 0
+	})
+	if cj.NumProcs() != 2 {
+		t.Error("NumProcs wrong")
+	}
+	if !cj.Holds(d, 1, 0) {
+		t.Error("absent conjunct must be true")
+	}
+	if !cj.Eval(d, deposet.Cut{1, 0}) || cj.Eval(d, deposet.Cut{0, 0}) {
+		t.Error("Eval wrong")
+	}
+	if got := cj.String(); got != "x>0@P0" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewConjunction(1).String(); got != "true" {
+		t.Errorf("empty conjunction String = %q", got)
+	}
+}
+
+// Property: Negate is pointwise complement — for every consistent cut,
+// dj.Eval = !cj.Eval exactly when every process carries a disjunct; in
+// general ∧¬lp is false ⇒ ∨lp is true on processes that have locals, and
+// the conjunction treats missing locals as ¬false = true.
+func TestNegateComplementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(3), r.Intn(12)))
+		dj := DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.5))
+		cj := dj.Negate()
+		ok := true
+		d.ForEachConsistentCut(func(g deposet.Cut) bool {
+			if dj.Eval(d, g) == cj.Eval(d, g) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegateSkipsMissingLocals(t *testing.T) {
+	d := twoProc(t)
+	dj := NewDisjunction(2)
+	dj.Add(0, "never", func(*deposet.Deposet, int) bool { return false })
+	cj := dj.Negate()
+	// P1 has no disjunct: the conjunct there must be constant true.
+	if !cj.Holds(d, 1, 0) {
+		t.Error("missing local should negate to true conjunct")
+	}
+	if !cj.Holds(d, 0, 0) {
+		t.Error("¬never should hold")
+	}
+}
+
+func TestAsConjunction(t *testing.T) {
+	a := Local(0, "a", nilFn)
+	b := Local(1, "b", nilFn)
+	if _, ok := AsConjunction(And(a, b), 2); !ok {
+		t.Error("flat and rejected")
+	}
+	if _, ok := AsConjunction(And(a, And(b)), 2); !ok {
+		t.Error("nested and rejected")
+	}
+	if _, ok := AsConjunction(a, 2); !ok {
+		t.Error("single local rejected")
+	}
+	if _, ok := AsConjunction(And(a, Const(true)), 2); !ok {
+		t.Error("and with true rejected")
+	}
+	if _, ok := AsConjunction(And(a, Const(false)), 2); ok {
+		t.Error("and with false accepted")
+	}
+	if _, ok := AsConjunction(Or(a, b), 2); ok {
+		t.Error("or accepted")
+	}
+	if _, ok := AsConjunction(Not(a), 2); ok {
+		t.Error("not accepted")
+	}
+	if _, ok := AsConjunction(And(a, Local(0, "a2", nilFn)), 2); ok {
+		t.Error("two locals on one process accepted")
+	}
+	if _, ok := AsConjunction(Local(9, "z", nilFn), 2); ok {
+		t.Error("out-of-range process accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Package reduce implements optimal tracing for replay in the sense of
+// Netzer & Miller (reference [9] of the paper): given a traced
+// computation, determine which receive events *race* — could have been
+// bound to a different message in some execution — and therefore must
+// have their message binding recorded for faithful replay. Non-racing
+// receives are uniquely determined by causality and program order, so a
+// replayer (like this repository's) need only enforce the racing
+// bindings.
+package reduce
+
+import (
+	"predctl/internal/deposet"
+)
+
+// Race is one receive whose binding must be traced.
+type Race struct {
+	// Recv is the state produced by the racing receive.
+	Recv deposet.StateID
+	// Msg is the index of the message actually consumed.
+	Msg int
+	// Alternatives are other message indices that could have been
+	// delivered at this receive instead.
+	Alternatives []int
+}
+
+// Report summarizes the reduction.
+type Report struct {
+	Receives int // total receive events
+	Races    []Race
+}
+
+// RacingFraction is the share of receives whose binding must be traced.
+func (r *Report) RacingFraction() float64 {
+	if r.Receives == 0 {
+		return 0
+	}
+	return float64(len(r.Races)) / float64(r.Receives)
+}
+
+// sentBefore reports whether message m's send event can precede receive
+// event e of process p in some execution — i.e. the send is not causally
+// after the receive. With the state-clock convention, receive r (event e
+// of p) causally precedes send event s of q iff reaching state (q,s)
+// implies r happened, i.e. (p, e−1) was exited.
+func sentBefore(d *deposet.Deposet, p, e int, m deposet.Message) bool {
+	return !d.HB(deposet.StateID{P: p, K: e - 1}, deposet.StateID{P: m.FromP, K: m.SendEvent})
+}
+
+// Analyze computes the racing receives of d. Walking each process's
+// receives in program order, a receive races iff more than one
+// still-unbound message to this process could already have been sent;
+// earlier receives' bindings are taken as given (they are themselves
+// traced if they race), matching Netzer & Miller's incremental
+// determinacy argument.
+func Analyze(d *deposet.Deposet) *Report {
+	rep := &Report{}
+	msgs := d.Messages()
+	// Messages by destination. (The model does not record a destination
+	// for messages still in flight at the end, so they cannot appear as
+	// alternatives; a production tracer would include them.)
+	byDest := make([][]int, d.NumProcs())
+	for i, m := range msgs {
+		if m.Received() {
+			byDest[m.ToP] = append(byDest[m.ToP], i)
+		}
+	}
+	for p := 0; p < d.NumProcs(); p++ {
+		bound := map[int]bool{}
+		for e := 1; e < d.Len(p); e++ {
+			mi := d.RecvAt(p, e)
+			if mi < 0 {
+				continue
+			}
+			rep.Receives++
+			var alts []int
+			for _, other := range byDest[p] {
+				if other == mi || bound[other] {
+					continue
+				}
+				if sentBefore(d, p, e, msgs[other]) {
+					alts = append(alts, other)
+				}
+			}
+			if len(alts) > 0 {
+				rep.Races = append(rep.Races, Race{
+					Recv:         deposet.StateID{P: p, K: e},
+					Msg:          mi,
+					Alternatives: alts,
+				})
+			}
+			bound[mi] = true
+		}
+	}
+	return rep
+}

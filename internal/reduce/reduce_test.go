@@ -1,0 +1,201 @@
+package reduce
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predctl/internal/deposet"
+)
+
+func TestNoMessagesNoRaces(t *testing.T) {
+	b := deposet.NewBuilder(2)
+	b.Step(0)
+	b.Step(1)
+	rep := Analyze(b.MustBuild())
+	if rep.Receives != 0 || len(rep.Races) != 0 || rep.RacingFraction() != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestTwoConcurrentSendersRace(t *testing.T) {
+	// P0 and P1 each send to P2, concurrently: P2's first receive could
+	// have taken either message.
+	b := deposet.NewBuilder(3)
+	_, h0 := b.Send(0)
+	_, h1 := b.Send(1)
+	b.Recv(2, h0)
+	b.Recv(2, h1)
+	rep := Analyze(b.MustBuild())
+	if rep.Receives != 2 {
+		t.Fatalf("receives = %d", rep.Receives)
+	}
+	if len(rep.Races) != 1 {
+		t.Fatalf("races = %+v", rep.Races)
+	}
+	r := rep.Races[0]
+	if r.Recv != (deposet.StateID{P: 2, K: 1}) || len(r.Alternatives) != 1 {
+		t.Fatalf("race = %+v", r)
+	}
+	// The second receive is forced once the first binding is fixed.
+}
+
+func TestCausallyOrderedSendsDoNotRace(t *testing.T) {
+	// P0 sends m0 to P2; P2 acknowledges to P1; P1 then sends m1 to P2:
+	// m1's send causally follows P2's first receive, so neither receive
+	// races.
+	b := deposet.NewBuilder(3)
+	_, h0 := b.Send(0)
+	b.Recv(2, h0)
+	_, ack := b.Send(2)
+	b.Recv(1, ack)
+	_, h1 := b.Send(1)
+	b.Recv(2, h1)
+	rep := Analyze(b.MustBuild())
+	if rep.Receives != 3 {
+		t.Fatalf("receives = %d", rep.Receives)
+	}
+	if len(rep.Races) != 0 {
+		t.Fatalf("unexpected races: %+v", rep.Races)
+	}
+}
+
+// adversarialBindings re-executes the deposet's structure under a random
+// schedule. Receives in `enforced` must take their original message
+// (blocking until it is available); all other receives take ANY
+// available message for the destination, chosen at random. Returns the
+// resulting binding (receive state → message) or ok=false if the chosen
+// schedule got stuck.
+func adversarialBindings(d *deposet.Deposet, r *rand.Rand, enforced map[deposet.StateID]bool) (map[deposet.StateID]int, bool) {
+	n := d.NumProcs()
+	next := make([]int, n) // last executed event per process
+	avail := make([][]int, n)
+	binding := map[deposet.StateID]int{}
+	take := func(p, want int) (int, bool) {
+		for j, mi := range avail[p] {
+			if want < 0 || mi == want {
+				if want < 0 {
+					j = r.Intn(len(avail[p]))
+					mi = avail[p][j]
+				}
+				avail[p] = append(avail[p][:j], avail[p][j+1:]...)
+				return mi, true
+			}
+		}
+		return 0, false
+	}
+	for {
+		progress := false
+		for _, p := range r.Perm(n) {
+			for next[p]+1 < d.Len(p) {
+				e := next[p] + 1
+				s := deposet.StateID{P: p, K: e}
+				if mi := d.RecvAt(p, e); mi >= 0 {
+					want := -1
+					if enforced[s] {
+						want = mi
+					}
+					chosen, ok := take(p, want)
+					if !ok {
+						break // blocked
+					}
+					binding[s] = chosen
+				} else if mi := d.SendAt(p, e); mi >= 0 {
+					m := d.Messages()[mi]
+					if m.Received() {
+						avail[m.ToP] = append(avail[m.ToP], mi)
+					}
+				}
+				next[p] = e
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for p := 0; p < n; p++ {
+		if next[p] != d.Len(p)-1 {
+			return nil, false // stuck
+		}
+	}
+	return binding, true
+}
+
+// Property (Netzer–Miller's optimal-tracing guarantee): enforcing ONLY
+// the racing bindings makes every re-execution reproduce the original
+// binding in full — the non-racing receives are determined by causality.
+func TestEnforcedRacesDetermineReplayProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(2+r.Intn(3), 6+r.Intn(18)))
+		rep := Analyze(d)
+		enforced := map[deposet.StateID]bool{}
+		for _, rc := range rep.Races {
+			enforced[rc.Recv] = true
+		}
+		for trial := 0; trial < 8; trial++ {
+			binding, ok := adversarialBindings(d, r, enforced)
+			if !ok {
+				continue // this schedule wedged; enforcement can do that
+			}
+			for s, got := range binding {
+				if got != d.RecvAt(s.P, s.K) {
+					t.Logf("seed %d: receive %v rebound %d→%d despite enforced races",
+						seed, s, d.RecvAt(s.P, s.K), got)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on race-free computations no enforcement is needed at all —
+// every completed free re-execution reproduces the original bindings.
+func TestRaceFreeNeedsNoTracingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(2+r.Intn(3), 6+r.Intn(14)))
+		rep := Analyze(d)
+		if len(rep.Races) > 0 {
+			return true // only race-free instances are in scope here
+		}
+		for trial := 0; trial < 5; trial++ {
+			binding, ok := adversarialBindings(d, r, nil)
+			if !ok {
+				continue
+			}
+			for s, got := range binding {
+				if got != d.RecvAt(s.P, s.K) {
+					t.Logf("seed %d: race-free computation rebound %v", seed, s)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the racing fraction is between 0 and 1 and counts match.
+func TestReportShapeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(4), r.Intn(30)))
+		rep := Analyze(d)
+		if len(rep.Races) > rep.Receives {
+			return false
+		}
+		fr := rep.RacingFraction()
+		return fr >= 0 && fr <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package sat
+
+import (
+	"fmt"
+
+	"predctl/internal/deposet"
+	"predctl/internal/predicate"
+)
+
+// Reduction is the paper's Figure 1 construction mapping a SAT instance
+// to an SGSD instance. For each variable xᵥ there is a process with two
+// states (xᵥ = false at ⊥, then xᵥ = true); one extra process carries
+// x_{m+1} through true → false → true. The predicate is B = b ∨ x_{m+1}.
+// A global sequence satisfying B must cross the extra process's false
+// state at a cut whose variable-process states form a satisfying
+// assignment of b; conversely, any satisfying assignment yields such a
+// sequence (moving one variable process at a time while x_{m+1} is true).
+type Reduction struct {
+	Formula Formula
+	D       *deposet.Deposet
+	B       predicate.Expr
+	// ExtraProc is the index of the x_{m+1} process (== Formula.NumVars).
+	ExtraProc int
+}
+
+// Reduce builds the Figure 1 instance for f.
+func Reduce(f Formula) (*Reduction, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	m := f.NumVars
+	b := deposet.NewBuilder(m + 1)
+	for v := 0; v < m; v++ {
+		b.Step(v) // state 0: xᵥ false; state 1: xᵥ true
+	}
+	b.Step(m) // state 0: x_{m+1} true; state 1: false
+	b.Step(m) // state 2: true again
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// b as a predicate over the variable processes: xᵥ holds at state 1.
+	clauses := make([]predicate.Expr, len(f.Clauses))
+	for i, c := range f.Clauses {
+		lits := make([]predicate.Expr, len(c))
+		for j, lit := range c {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			wantState := 1
+			if lit < 0 {
+				wantState = 0
+			}
+			ws := wantState
+			lits[j] = predicate.Local(v-1, fmt.Sprintf("x%d=%d", v, ws),
+				func(_ *deposet.Deposet, k int) bool { return k == ws })
+		}
+		clauses[i] = predicate.Or(lits...)
+	}
+	xm1 := predicate.Local(m, "x_{m+1}",
+		func(_ *deposet.Deposet, k int) bool { return k != 1 })
+	return &Reduction{
+		Formula:   f,
+		D:         d,
+		B:         predicate.Or(predicate.And(clauses...), xm1),
+		ExtraProc: m,
+	}, nil
+}
+
+// Assignment extracts a satisfying assignment of the formula from a
+// satisfying global sequence of the reduction: the variable-process
+// states at the cut where the extra process is false.
+func (r *Reduction) Assignment(seq deposet.Sequence) ([]bool, bool) {
+	for _, g := range seq {
+		if g[r.ExtraProc] == 1 {
+			assign := make([]bool, r.Formula.NumVars)
+			for v := range assign {
+				assign[v] = g[v] == 1
+			}
+			return assign, true
+		}
+	}
+	return nil, false
+}

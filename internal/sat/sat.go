@@ -1,0 +1,122 @@
+// Package sat provides CNF formulas, a brute-force solver, a random
+// instance generator, and the paper's Figure 1 reduction from SAT to
+// Satisfying Global Sequence Detection (SGSD), which establishes that
+// off-line predicate control for general predicates is NP-hard (Lemma 1,
+// Theorem 1).
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Clause is a disjunction of literals. A positive literal v (1-based) is
+// the variable xᵥ, a negative literal −v is ¬xᵥ.
+type Clause []int
+
+// Formula is a CNF formula over variables x₁..x_NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks literal ranges.
+func (f Formula) Validate() error {
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("sat: clause %d is empty", i)
+		}
+		for _, lit := range c {
+			v := lit
+			if v < 0 {
+				v = -v
+			}
+			if v < 1 || v > f.NumVars {
+				return fmt.Errorf("sat: clause %d: literal %d out of range", i, lit)
+			}
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the formula under assign (assign[v-1] is the value of xᵥ).
+func (f Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, lit := range c {
+			if lit > 0 && assign[lit-1] || lit < 0 && !assign[-lit-1] {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+func (f Formula) String() string {
+	var b strings.Builder
+	for i, c := range f.Clauses {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteByte('(')
+		for j, lit := range c {
+			if j > 0 {
+				b.WriteString(" ∨ ")
+			}
+			if lit < 0 {
+				fmt.Fprintf(&b, "¬x%d", -lit)
+			} else {
+				fmt.Fprintf(&b, "x%d", lit)
+			}
+		}
+		b.WriteByte(')')
+	}
+	if len(f.Clauses) == 0 {
+		return "true"
+	}
+	return b.String()
+}
+
+// BruteForce searches all 2^NumVars assignments and returns a satisfying
+// one if any exists.
+func BruteForce(f Formula) ([]bool, bool) {
+	if f.NumVars > 30 {
+		panic("sat: brute force limited to 30 variables")
+	}
+	assign := make([]bool, f.NumVars)
+	for mask := 0; mask < 1<<f.NumVars; mask++ {
+		for v := range assign {
+			assign[v] = mask&(1<<v) != 0
+		}
+		if f.Eval(assign) {
+			return assign, true
+		}
+	}
+	return nil, false
+}
+
+// RandomKSAT generates a random formula with the given number of
+// variables and clauses, each clause containing k distinct literals.
+func RandomKSAT(r *rand.Rand, vars, clauses, k int) Formula {
+	if k > vars {
+		panic("sat: clause width exceeds variable count")
+	}
+	f := Formula{NumVars: vars}
+	for i := 0; i < clauses; i++ {
+		perm := r.Perm(vars)[:k]
+		c := make(Clause, k)
+		for j, v := range perm {
+			c[j] = v + 1
+			if r.Intn(2) == 0 {
+				c[j] = -c[j]
+			}
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}

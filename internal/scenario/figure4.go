@@ -1,0 +1,174 @@
+// Package scenario reconstructs the paper's §7 running example
+// (Figure 4): a replicated server system with three servers whose
+// availability windows can align so that no server is available — the
+// bug the active-debugging cycle localizes and then controls away. The
+// reconstruction is shared by the examples, the experiment harness and
+// the regression tests.
+package scenario
+
+import (
+	"predctl/internal/deposet"
+	"predctl/internal/predicate"
+)
+
+// Figure4 is the reconstructed computation C1 plus the predicates the
+// walkthrough uses.
+type Figure4 struct {
+	// C1 is the originally observed computation: three servers, each
+	// with a maintenance window (avail = 0), plus a cascading
+	// notification from server 1 to server 2.
+	C1 *deposet.Deposet
+
+	// Avail is the safety predicate B = avail0 ∨ avail1 ∨ avail2 ("at
+	// least one server is available").
+	Avail *predicate.Disjunction
+
+	// E and F are the two suspect states of bug 2: e is the last
+	// unavailable state of server 2 (it becomes available by leaving it)
+	// and f is the first unavailable state of server 0. Bug 2 is "e and
+	// f occur at the same time".
+	E, F deposet.StateID
+
+	// EBeforeF is the ordering predicate after_e ∨ before_f ("e must
+	// happen before f") used to synthesize C3 and C4.
+	EBeforeF *predicate.Disjunction
+}
+
+// Windows returns the per-server maintenance windows of C1.
+func (fg *Figure4) Windows() []deposet.Interval {
+	var w []deposet.Interval
+	for p := 0; p < fg.C1.NumProcs(); p++ {
+		p := p
+		w = append(w, fg.C1.FalseIntervals(p, func(k int) bool {
+			return fg.availAt(p, k)
+		})...)
+	}
+	return w
+}
+
+func (fg *Figure4) availAt(p, k int) bool {
+	v, ok := fg.C1.Var(deposet.StateID{P: p, K: k}, "avail")
+	return ok && v == 1
+}
+
+// New builds the scenario.
+//
+// Server timelines (states left to right; U marks avail = 0):
+//
+//	P0:  A  U  U  A        maintenance window [1..2]
+//	P1:  A  U  A  A        maintenance window [1..1]
+//	P2:  A  A  U  A        maintenance window [2..2]
+//	          ↑
+//	P1 announces its maintenance to P2 as it goes down (message from
+//	P1's first event to P2's first event), which later also goes down —
+//	the cascading behaviour that makes the bug possible.
+//
+// Exactly two consistent global states violate B: G = ⟨1,1,2⟩ and
+// H = ⟨2,1,2⟩, matching the two violating states of the paper's figure.
+func New() (*Figure4, error) {
+	b := deposet.NewBuilder(3)
+	for p := 0; p < 3; p++ {
+		b.Let(p, "avail", 1)
+	}
+	// P1 goes down, telling P2; P2 acknowledges receipt and goes down
+	// later; P0's window overlaps both.
+	_, h := b.Send(1) // P1 event 1: going down…
+	b.Let(1, "avail", 0)
+	b.Step(1) // P1 event 2: back up
+	b.Let(1, "avail", 1)
+	b.Step(1) // P1 event 3: serving again
+
+	b.Recv(2, h) // P2 event 1: learns of P1's maintenance
+	b.Step(2)    // P2 event 2: goes down itself
+	b.Let(2, "avail", 0)
+	b.Step(2) // P2 event 3: back up
+	b.Let(2, "avail", 1)
+
+	b.Step(0) // P0 event 1: goes down
+	b.Let(0, "avail", 0)
+	b.Step(0) // P0 event 2: still down
+	b.Step(0) // P0 event 3: back up
+	b.Let(0, "avail", 1)
+
+	d, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	fg := &Figure4{C1: d}
+	fg.Avail = predicate.NewDisjunction(3)
+	for p := 0; p < 3; p++ {
+		p := p
+		fg.Avail.Add(p, "avail", func(dd *deposet.Deposet, k int) bool {
+			v, ok := dd.Var(deposet.StateID{P: p, K: k}, "avail")
+			return ok && v == 1
+		})
+	}
+
+	fg.E = deposet.StateID{P: 2, K: 2} // last unavailable state of P2
+	fg.F = deposet.StateID{P: 0, K: 1} // first unavailable state of P0
+	fg.EBeforeF = EBeforeFOn(d.NumProcs(), fg.E, fg.F)
+	return fg, nil
+}
+
+// EBeforeFOn builds the ordering predicate after_e ∨ before_f over n
+// processes for arbitrary states e and f: "f is not entered until e has
+// been left". Processes other than e.P and f.P contribute no disjunct.
+func EBeforeFOn(n int, e, f deposet.StateID) *predicate.Disjunction {
+	dj := predicate.NewDisjunction(n)
+	dj.Add(e.P, "after_e", func(_ *deposet.Deposet, k int) bool { return k > e.K })
+	dj.Add(f.P, "before_f", func(_ *deposet.Deposet, k int) bool { return k < f.K })
+	return dj
+}
+
+// EBeforeFMapped builds the ordering predicate after_e ∨ before_f on a
+// computation derived from C1 via an underlying-state mapping (e.g. the
+// replayed C2), so the same bug-2 fix can be synthesized against it.
+func (fg *Figure4) EBeforeFMapped(underlying [][]int) *predicate.Disjunction {
+	dj := predicate.NewDisjunction(3)
+	dj.Add(fg.E.P, "after_e", func(_ *deposet.Deposet, k int) bool {
+		return underlying[fg.E.P][k] > fg.E.K
+	})
+	dj.Add(fg.F.P, "before_f", func(_ *deposet.Deposet, k int) bool {
+		return underlying[fg.F.P][k] < fg.F.K
+	})
+	return dj
+}
+
+// Bug2On builds the co-occurrence conjunction "e and f at the same
+// time" for a computation derived from C1 via an underlying-state
+// mapping (pass nil for C1 itself): possible exactly when some
+// consistent cut has e.P still at-or-before e and f.P at-or-after f.
+func (fg *Figure4) Bug2On(underlying [][]int) *predicate.Conjunction {
+	cj := predicate.NewConjunction(3)
+	idx := func(p, k int) int {
+		if underlying == nil {
+			return k
+		}
+		return underlying[p][k]
+	}
+	cj.Add(fg.E.P, "¬after_e", func(_ *deposet.Deposet, k int) bool {
+		return idx(fg.E.P, k) <= fg.E.K
+	})
+	cj.Add(fg.F.P, "¬before_f", func(_ *deposet.Deposet, k int) bool {
+		return idx(fg.F.P, k) >= fg.F.K
+	})
+	return cj
+}
+
+// Bug1On builds the all-unavailable conjunction on a computation derived
+// from C1 (see Bug2On for the mapping convention).
+func (fg *Figure4) Bug1On(underlying [][]int) *predicate.Conjunction {
+	cj := predicate.NewConjunction(3)
+	for p := 0; p < 3; p++ {
+		p := p
+		cj.Add(p, "¬avail", func(_ *deposet.Deposet, k int) bool {
+			kk := k
+			if underlying != nil {
+				kk = underlying[p][k]
+			}
+			return !fg.availAt(p, kk)
+		})
+	}
+	return cj
+}

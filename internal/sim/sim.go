@@ -1,0 +1,408 @@
+// Package sim is a deterministic discrete-event simulator for
+// asynchronous message-passing systems: the experimental substrate on
+// which the on-line control strategies and the mutual-exclusion
+// baselines run, standing in for the paper's (abstract) testbed.
+//
+// Processes are ordinary Go functions running in goroutines, written in
+// direct style against a blocking API (Send/Recv/Work/Set); goroutines
+// and channels map one-to-one onto the paper's process/message model.
+// The kernel multiplexes them onto a virtual clock: exactly one process
+// runs at a time, events are ordered by (time, sequence), message delays
+// come from a seeded configuration, and identical configurations replay
+// identical executions. Every run can be traced into a deposet, closing
+// the loop with the off-line analyses.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+
+	"predctl/internal/deposet"
+)
+
+// Time is virtual time, in abstract units.
+type Time int64
+
+// DelayFn computes the in-flight delay of a message. It must be
+// deterministic given the rng.
+type DelayFn func(from, to int, r *rand.Rand) Time
+
+// ConstantDelay returns a DelayFn with a fixed delay T.
+func ConstantDelay(t Time) DelayFn {
+	return func(_, _ int, _ *rand.Rand) Time { return t }
+}
+
+// UniformDelay returns a DelayFn uniform over [lo, hi].
+func UniformDelay(lo, hi Time) DelayFn {
+	return func(_, _ int, r *rand.Rand) Time { return lo + Time(r.Int63n(int64(hi-lo+1))) }
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Procs int
+	Delay DelayFn // nil means constant 1
+	Seed  int64
+	Trace bool // record the computation as a deposet
+	// FIFO forces per-channel FIFO delivery: messages between one ordered
+	// pair of processes arrive in send order even when the delay function
+	// says otherwise (required by, e.g., the Chandy–Lamport snapshot
+	// algorithm). Messages from different senders still interleave freely.
+	FIFO bool
+	// MaxEvents caps kernel events as a runaway guard; 0 means 10^7.
+	MaxEvents int
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Messages int  // messages sent
+	Events   int  // kernel events processed
+	End      Time // virtual time when the last process finished
+}
+
+// Trace is the recorded computation of a run.
+type Trace struct {
+	D     *deposet.Deposet
+	Times [][]Time // Times[p][k]: virtual time state (p,k) was entered
+	Stats Stats
+}
+
+// ErrDeadlock is reported when no process can make progress.
+type ErrDeadlock struct{ Blocked []int }
+
+func (e ErrDeadlock) Error() string {
+	return fmt.Sprintf("sim: deadlock; processes %v blocked on receive", e.Blocked)
+}
+
+type procStatus int
+
+const (
+	ready procStatus = iota
+	running
+	blockedRecv
+	done
+)
+
+type message struct {
+	from    int
+	payload any
+	arrival Time
+	seq     int
+	handle  deposet.MsgHandle // trace handle
+}
+
+// event is a kernel heap entry: either a process wake-up or a message
+// delivery.
+type event struct {
+	at   Time
+	seq  int
+	proc int      // wake this process, or deliver to it
+	msg  *message // nil for wake-ups
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Kernel drives one simulation run.
+type Kernel struct {
+	cfg       Config
+	rng       *rand.Rand
+	events    eventHeap
+	seq       int
+	procs     []*Proc
+	stats     Stats
+	builder   *deposet.Builder
+	times     [][]Time
+	yields    chan int // proc id announcing it yielded (or finished)
+	failure   error    // panic captured from a process
+	cancelled bool     // tear-down: blocked processes unwind via cancelPanic
+	lastArr   map[[2]int]Time
+}
+
+// cancelPanic unwinds a process goroutine that is still blocked when the
+// run ends (deadlock tear-down), so runs never leak goroutines.
+type cancelPanic struct{}
+
+// Proc is the handle a simulated process uses to interact with the world.
+type Proc struct {
+	k      *Kernel
+	id     int
+	now    Time
+	status procStatus
+	avail  []*message // delivered, undelivered to the app yet (FIFO)
+	resume chan Time
+	rng    *rand.Rand
+	reason string // what the process is blocked on, for diagnostics
+	daemon bool
+}
+
+// Daemon marks the process as a background service: the run completes
+// when every non-daemon process has finished, and still-blocked daemons
+// are then unwound instead of being reported as deadlocked.
+func (p *Proc) Daemon() { p.daemon = true }
+
+// New creates a kernel for cfg.
+func New(cfg Config) *Kernel {
+	if cfg.Procs < 1 {
+		panic("sim: need at least one process")
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = ConstantDelay(1)
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 1e7
+	}
+	k := &Kernel{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		yields: make(chan int),
+	}
+	if cfg.Trace {
+		k.builder = deposet.NewBuilder(cfg.Procs)
+		k.times = make([][]Time, cfg.Procs)
+		for p := range k.times {
+			k.times[p] = []Time{0}
+		}
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		k.procs = append(k.procs, &Proc{
+			k:      k,
+			id:     i,
+			resume: make(chan Time),
+			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(i+1)*0x9e3779b9)),
+		})
+	}
+	return k
+}
+
+// Run executes the process bodies to completion and returns the trace
+// (nil unless Config.Trace) and statistics. It fails on deadlock, on a
+// process panic, or when MaxEvents is exceeded.
+func (k *Kernel) Run(bodies ...func(*Proc)) (*Trace, error) {
+	if len(bodies) != k.cfg.Procs {
+		return nil, fmt.Errorf("sim: %d process bodies for %d processes", len(bodies), k.cfg.Procs)
+	}
+	for i, body := range bodies {
+		p := k.procs[i]
+		body := body
+		heap.Push(&k.events, event{at: 0, seq: k.nextSeq(), proc: i})
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCancel := r.(cancelPanic); !isCancel && k.failure == nil {
+						k.failure = fmt.Errorf("sim: process %d panicked: %v\n%s", p.id, r, debug.Stack())
+					}
+				}
+				p.status = done
+				k.yields <- p.id
+			}()
+			<-p.resume // wait for the kernel's first wake-up
+			p.status = running
+			body(p)
+		}()
+	}
+	for k.events.Len() > 0 {
+		if k.stats.Events >= k.cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: exceeded %d events (runaway?)", k.cfg.MaxEvents)
+		}
+		ev := heap.Pop(&k.events).(event)
+		k.stats.Events++
+		p := k.procs[ev.proc]
+		if ev.msg != nil { // delivery
+			if p.status == done {
+				continue // receiver finished; message stays in flight
+			}
+			p.avail = append(p.avail, ev.msg)
+			if p.status == blockedRecv {
+				k.wake(p, ev.at)
+			}
+			continue
+		}
+		if p.status == done {
+			continue
+		}
+		k.wake(p, ev.at)
+	}
+	var blocked []int
+	k.cancelled = true
+	for _, p := range k.procs {
+		if p.status != done {
+			if !p.daemon {
+				blocked = append(blocked, p.id)
+			}
+			p.resume <- p.now // unwind via cancelPanic in yield
+			<-k.yields
+		}
+	}
+	if k.failure != nil {
+		return nil, k.failure
+	}
+	if len(blocked) > 0 {
+		return nil, ErrDeadlock{Blocked: blocked}
+	}
+	if k.builder == nil {
+		return &Trace{Stats: k.stats}, nil
+	}
+	d, err := k.builder.Build()
+	if err != nil {
+		return nil, fmt.Errorf("sim: trace invalid: %w", err)
+	}
+	return &Trace{D: d, Times: k.times, Stats: k.stats}, nil
+}
+
+// wake resumes p at time t and blocks until it yields again.
+func (k *Kernel) wake(p *Proc, t Time) {
+	if t > p.now {
+		p.now = t
+	}
+	if p.now > k.stats.End {
+		k.stats.End = p.now
+	}
+	p.status = running
+	p.resume <- p.now
+	<-k.yields
+	if p.now > k.stats.End {
+		k.stats.End = p.now
+	}
+}
+
+func (k *Kernel) nextSeq() int { k.seq++; return k.seq }
+
+// yield suspends the calling process until the kernel wakes it.
+func (p *Proc) yield(status procStatus, reason string) {
+	p.status = status
+	p.reason = reason
+	p.k.yields <- p.id
+	p.now = <-p.resume
+	if p.k.cancelled {
+		panic(cancelPanic{})
+	}
+	p.status = running
+}
+
+// ID returns the process index; N the number of processes.
+func (p *Proc) ID() int { return p.id }
+func (p *Proc) N() int  { return p.k.cfg.Procs }
+
+// Now returns the process's current virtual time.
+func (p *Proc) Now() Time { return p.now }
+
+// Rand is a per-process deterministic random source.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Send dispatches payload to process `to`; it does not block. The
+// message arrives after the configured delay.
+func (p *Proc) Send(to int, payload any) {
+	if to < 0 || to >= p.k.cfg.Procs {
+		panic(fmt.Sprintf("sim: send to unknown process %d", to))
+	}
+	m := &message{
+		from:    p.id,
+		payload: payload,
+		arrival: p.now + p.k.cfg.Delay(p.id, to, p.k.rng),
+		seq:     p.k.nextSeq(),
+	}
+	if p.k.cfg.FIFO {
+		if p.k.lastArr == nil {
+			p.k.lastArr = map[[2]int]Time{}
+		}
+		ch := [2]int{p.id, to}
+		if last, ok := p.k.lastArr[ch]; ok && last > m.arrival {
+			m.arrival = last // hold back: per-channel FIFO (seq breaks the tie)
+		}
+		p.k.lastArr[ch] = m.arrival
+	}
+	if b := p.k.builder; b != nil {
+		_, h := b.Send(p.id)
+		m.handle = h
+		p.k.times[p.id] = append(p.k.times[p.id], p.now)
+	}
+	p.k.stats.Messages++
+	heap.Push(&p.k.events, event{at: m.arrival, seq: m.seq, proc: to, msg: m})
+}
+
+// Recv blocks until a message is available and returns its sender and
+// payload, in arrival order.
+func (p *Proc) Recv() (from int, payload any) {
+	for len(p.avail) == 0 {
+		p.yield(blockedRecv, "recv")
+	}
+	m := p.avail[0]
+	p.avail = p.avail[1:]
+	if b := p.k.builder; b != nil {
+		b.Recv(p.id, m.handle)
+		p.k.times[p.id] = append(p.k.times[p.id], p.now)
+	}
+	return m.from, m.payload
+}
+
+// TryRecv returns a message if one has already arrived.
+func (p *Proc) TryRecv() (from int, payload any, ok bool) {
+	if len(p.avail) == 0 {
+		return 0, nil, false
+	}
+	from, payload = p.Recv()
+	return from, payload, true
+}
+
+// Work advances the process's local clock by d, modeling computation.
+func (p *Proc) Work(d Time) {
+	if d < 0 {
+		panic("sim: negative work duration")
+	}
+	heap.Push(&p.k.events, event{at: p.now + d, seq: p.k.nextSeq(), proc: p.id})
+	p.yield(ready, "work")
+}
+
+// Tick records a local event in the trace without changing variables
+// (a no-op without tracing).
+func (p *Proc) Tick() {
+	if b := p.k.builder; b != nil {
+		b.Step(p.id)
+		p.k.times[p.id] = append(p.k.times[p.id], p.now)
+	}
+}
+
+// Let assigns a state variable at the process's *current* traced state
+// without recording an event; use Set for the common "event that changes
+// a variable" case.
+func (p *Proc) Let(name string, v int) {
+	if b := p.k.builder; b != nil {
+		b.Let(p.id, name, v)
+	}
+}
+
+// Set records a state-variable assignment as a local event in the trace
+// (and is a no-op without tracing).
+func (p *Proc) Set(name string, v int) {
+	p.Tick()
+	p.Let(name, v)
+}
+
+// Init sets a variable's value at the initial state ⊥; call before any
+// other operation.
+func (p *Proc) Init(name string, v int) {
+	if b := p.k.builder; b != nil {
+		b.Let(p.id, name, v)
+	}
+}
+
+// StateIndex returns the index of the process's current traced state
+// (0 before any event). It requires tracing; without it, -1 is returned.
+func (p *Proc) StateIndex() int {
+	if p.k.times == nil {
+		return -1
+	}
+	return len(p.k.times[p.id]) - 1
+}

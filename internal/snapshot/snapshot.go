@@ -1,0 +1,225 @@
+// Package snapshot implements the Chandy–Lamport distributed snapshot
+// algorithm — reference [3] of the paper and the seminal tool of the
+// passive observe-and-detect cycle that predicate control extends. It
+// runs on the simulator's FIFO channels and records a global state:
+// one local state per process plus the messages in flight on each
+// channel.
+//
+// The classic guarantee, verified by this package's tests against the
+// deposet theory: the recorded global state is a *consistent cut* of the
+// traced computation, so any stable predicate true in the snapshot was
+// true in some state the computation could have passed through.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"predctl/internal/sim"
+)
+
+// marker is the algorithm's control message.
+type marker struct{}
+
+// payload wraps application messages so markers can share the channels.
+type payload struct{ inner any }
+
+// Record is one process's contribution to a snapshot.
+type Record struct {
+	Proc       int
+	State      any           // application state at recording time
+	StateIndex int           // traced state index at recording time (-1 untraced)
+	Channels   map[int][]any // in-flight messages per incoming channel
+}
+
+// Collector accumulates the records of one snapshot run. The simulator
+// runs one process at a time, so plain maps are safe.
+type Collector struct {
+	Records map[int]*Record
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{Records: map[int]*Record{}} }
+
+// Cut returns the recorded global state as per-process traced state
+// indices (usable with deposet.Cut on the run's trace).
+func (c *Collector) Cut(n int) []int {
+	cut := make([]int, n)
+	for p, r := range c.Records {
+		cut[p] = r.StateIndex
+	}
+	return cut
+}
+
+// InFlight returns all recorded channel messages, ordered by (to, from).
+func (c *Collector) InFlight() []any {
+	var procs []int
+	for p := range c.Records {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	var out []any
+	for _, p := range procs {
+		r := c.Records[p]
+		var froms []int
+		for f := range r.Channels {
+			froms = append(froms, f)
+		}
+		sort.Ints(froms)
+		for _, f := range froms {
+			out = append(out, r.Channels[f]...)
+		}
+	}
+	return out
+}
+
+// Node wraps a simulated process with snapshot participation. All
+// sends and receives must go through the node. State is the callback
+// producing the process's recordable local state.
+type Node struct {
+	p         *sim.Proc
+	collector *Collector
+	state     func() any
+
+	recording bool
+	done      bool
+	record    *Record
+	markersIn map[int]bool // channels on which the marker has arrived
+}
+
+// NewNode wraps p. The kernel must be configured with FIFO channels;
+// state() is called exactly once per snapshot, at recording time.
+func NewNode(p *sim.Proc, collector *Collector, state func() any) *Node {
+	return &Node{p: p, collector: collector, state: state}
+}
+
+// P exposes the wrapped process.
+func (n *Node) P() *sim.Proc { return n.p }
+
+// Send delivers an application payload through the snapshot layer.
+func (n *Node) Send(to int, v any) {
+	n.p.Send(to, payload{inner: v})
+}
+
+// Recv returns the next application message, transparently handling
+// markers.
+func (n *Node) Recv() (from int, v any) {
+	for {
+		f, raw := n.p.Recv()
+		switch m := raw.(type) {
+		case payload:
+			if n.recording && !n.markersIn[f] {
+				// In flight on channel f at the recorded cut.
+				n.record.Channels[f] = append(n.record.Channels[f], m.inner)
+			}
+			return f, m.inner
+		case marker:
+			n.onMarker(f)
+		default:
+			panic(fmt.Sprintf("snapshot: unexpected payload %T", raw))
+		}
+	}
+}
+
+// RecvOrDone blocks for the next application message but returns
+// ok=false as soon as this node's part of the snapshot completes. Use it
+// to drive the tail of a run: the application keeps applying incoming
+// messages — so its recordable state stays current — until all markers
+// are in. Pre-marker messages are guaranteed delivered (and hence
+// applied) before done is reported, because markers obey channel FIFO.
+func (n *Node) RecvOrDone() (from int, v any, ok bool) {
+	for {
+		if n.done {
+			return 0, nil, false
+		}
+		f, raw := n.p.Recv()
+		switch m := raw.(type) {
+		case payload:
+			if n.recording && !n.markersIn[f] {
+				n.record.Channels[f] = append(n.record.Channels[f], m.inner)
+			}
+			return f, m.inner, true
+		case marker:
+			n.onMarker(f)
+		default:
+			panic(fmt.Sprintf("snapshot: unexpected payload %T", raw))
+		}
+	}
+}
+
+// TryRecv is the non-blocking variant of Recv.
+func (n *Node) TryRecv() (from int, v any, ok bool) {
+	for {
+		f, raw, got := n.p.TryRecv()
+		if !got {
+			return 0, nil, false
+		}
+		switch m := raw.(type) {
+		case payload:
+			if n.recording && !n.markersIn[f] {
+				n.record.Channels[f] = append(n.record.Channels[f], m.inner)
+			}
+			return f, m.inner, true
+		case marker:
+			n.onMarker(f)
+		default:
+			panic(fmt.Sprintf("snapshot: unexpected payload %T", raw))
+		}
+	}
+}
+
+// Initiate starts a snapshot at this node (any node may initiate; the
+// algorithm tolerates concurrent initiations of the same snapshot).
+func (n *Node) Initiate() {
+	n.recordNow(n.p.StateIndex())
+}
+
+// Done reports whether this node's part of the snapshot is complete
+// (markers received on every incoming channel).
+func (n *Node) Done() bool { return n.done }
+
+// recordNow records the local state and emits markers on all outgoing
+// channels (the "record and flood" step of Chandy–Lamport). stateIndex
+// is the traced state the recording belongs to: the current state when
+// initiating, but the state *before* the receive event when triggered by
+// a marker — the marker's own reception must lie after the cut, or the
+// marker edge itself would make the cut inconsistent.
+func (n *Node) recordNow(stateIndex int) {
+	if n.recording || n.done {
+		return
+	}
+	n.recording = true
+	n.markersIn = map[int]bool{}
+	n.record = &Record{
+		Proc:       n.p.ID(),
+		State:      n.state(),
+		StateIndex: stateIndex,
+		Channels:   map[int][]any{},
+	}
+	n.collector.Records[n.p.ID()] = n.record
+	for q := 0; q < n.p.N(); q++ {
+		if q != n.p.ID() {
+			n.p.Send(q, marker{})
+		}
+	}
+	n.checkDone()
+}
+
+func (n *Node) onMarker(from int) {
+	// First marker triggers recording; the cut sits just before this
+	// receive event.
+	if idx := n.p.StateIndex(); idx >= 0 {
+		n.recordNow(idx - 1)
+	} else {
+		n.recordNow(-1)
+	}
+	n.markersIn[from] = true
+	n.checkDone()
+}
+
+func (n *Node) checkDone() {
+	if len(n.markersIn) == n.p.N()-1 {
+		n.done = true
+		n.recording = false
+	}
+}

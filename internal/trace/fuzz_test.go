@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predctl/internal/deposet"
+)
+
+// FuzzDecode ensures arbitrary input never panics the trace decoder and
+// that anything it accepts round-trips.
+func FuzzDecode(f *testing.F) {
+	b := deposet.NewBuilder(2)
+	b.Let(0, "x", 1)
+	b.Transfer(0, 1)
+	d := b.MustBuild()
+	var buf bytes.Buffer
+	if err := Encode(&buf, d, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"lens":[1]}`)
+	f.Add(`{"version":1,"lens":[2,2],"msgs":[{"from_p":0,"send_event":1,"to_p":1,"recv_event":1}]}`)
+	f.Add(`{`)
+	f.Add(`{"version":1,"lens":[0]}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		d, rel, err := Decode(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, d, rel); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		if _, _, err := Decode(&out); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeDisjunction ensures predicate specs never panic and compile
+// only with valid ops/processes.
+func FuzzDecodeDisjunction(f *testing.F) {
+	f.Add(`{"locals":[{"p":0,"var":"x","op":"eq","value":1}]}`)
+	f.Add(`{"locals":[{"p":9,"var":"x","op":"weird"}]}`)
+	f.Add(`{"locals":null}`)
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := DecodeDisjunction(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		spec.Compile(3) // must not panic; errors are fine
+	})
+}

@@ -1,0 +1,164 @@
+// Package trace serializes computations, control relations and
+// variable-based predicates to JSON, for the command-line tools: a trace
+// captured from one run (or another system) can be analyzed, controlled
+// and replayed offline.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"predctl/internal/control"
+	"predctl/internal/deposet"
+	"predctl/internal/predicate"
+)
+
+// Version is the current trace file format version.
+const Version = 1
+
+// File is the on-disk representation.
+type File struct {
+	Version int                `json:"version"`
+	Lens    []int              `json:"lens"`
+	Msgs    []Message          `json:"msgs,omitempty"`
+	Vars    [][]map[string]int `json:"vars,omitempty"`
+	Control []Edge             `json:"control,omitempty"`
+}
+
+// Message mirrors deposet.Message.
+type Message struct {
+	FromP     int `json:"from_p"`
+	SendEvent int `json:"send_event"`
+	ToP       int `json:"to_p"`
+	RecvEvent int `json:"recv_event,omitempty"`
+}
+
+// Edge mirrors control.Edge.
+type Edge struct {
+	FromP int `json:"from_p"`
+	FromK int `json:"from_k"`
+	ToP   int `json:"to_p"`
+	ToK   int `json:"to_k"`
+}
+
+// Encode writes d (and an optional control relation) as JSON.
+func Encode(w io.Writer, d *deposet.Deposet, rel control.Relation) error {
+	raw := d.Raw()
+	f := File{Version: Version, Lens: raw.Lens, Vars: raw.Vars}
+	for _, m := range raw.Msgs {
+		f.Msgs = append(f.Msgs, Message{m.FromP, m.SendEvent, m.ToP, m.RecvEvent})
+	}
+	for _, e := range rel {
+		f.Control = append(f.Control, Edge{e.From.P, e.From.K, e.To.P, e.To.K})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// Decode reads a trace file back into a computation and control relation.
+func Decode(r io.Reader) (*deposet.Deposet, control.Relation, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, fmt.Errorf("trace: %w", err)
+	}
+	if f.Version != Version {
+		return nil, nil, fmt.Errorf("trace: unsupported version %d", f.Version)
+	}
+	raw := deposet.Raw{Lens: f.Lens, Vars: f.Vars}
+	for _, m := range f.Msgs {
+		raw.Msgs = append(raw.Msgs, deposet.Message{
+			FromP: m.FromP, SendEvent: m.SendEvent, ToP: m.ToP, RecvEvent: m.RecvEvent,
+		})
+	}
+	d, err := deposet.FromRaw(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rel control.Relation
+	for _, e := range f.Control {
+		rel = append(rel, control.Edge{
+			From: deposet.StateID{P: e.FromP, K: e.FromK},
+			To:   deposet.StateID{P: e.ToP, K: e.ToK},
+		})
+	}
+	if rel != nil {
+		if _, err := control.Extend(d, rel); err != nil {
+			return nil, nil, err
+		}
+	}
+	return d, rel, nil
+}
+
+// LocalSpec describes one variable-based local predicate.
+type LocalSpec struct {
+	P     int    `json:"p"`
+	Var   string `json:"var"`
+	Op    string `json:"op"` // eq ne lt le gt ge true false
+	Value int    `json:"value,omitempty"`
+}
+
+// DisjunctionSpec describes B = l1 ∨ … ∨ ln over state variables.
+type DisjunctionSpec struct {
+	Locals []LocalSpec `json:"locals"`
+}
+
+// DecodeDisjunction reads a predicate spec.
+func DecodeDisjunction(r io.Reader) (DisjunctionSpec, error) {
+	var s DisjunctionSpec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return s, fmt.Errorf("trace: predicate: %w", err)
+	}
+	return s, nil
+}
+
+// EncodeDisjunction writes a predicate spec.
+func EncodeDisjunction(w io.Writer, s DisjunctionSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// Compile turns the spec into an evaluatable disjunction over n processes.
+func (s DisjunctionSpec) Compile(n int) (*predicate.Disjunction, error) {
+	dj := predicate.NewDisjunction(n)
+	for _, l := range s.Locals {
+		if l.P < 0 || l.P >= n {
+			return nil, fmt.Errorf("trace: predicate names process %d of %d", l.P, n)
+		}
+		cmp, err := compare(l.Op)
+		if err != nil {
+			return nil, err
+		}
+		l := l
+		name := fmt.Sprintf("%s %s %d", l.Var, l.Op, l.Value)
+		dj.Add(l.P, name, func(d *deposet.Deposet, k int) bool {
+			v, ok := d.Var(deposet.StateID{P: l.P, K: k}, l.Var)
+			return ok && cmp(v, l.Value)
+		})
+	}
+	return dj, nil
+}
+
+func compare(op string) (func(a, b int) bool, error) {
+	switch op {
+	case "eq":
+		return func(a, b int) bool { return a == b }, nil
+	case "ne":
+		return func(a, b int) bool { return a != b }, nil
+	case "lt":
+		return func(a, b int) bool { return a < b }, nil
+	case "le":
+		return func(a, b int) bool { return a <= b }, nil
+	case "gt":
+		return func(a, b int) bool { return a > b }, nil
+	case "ge":
+		return func(a, b int) bool { return a >= b }, nil
+	case "true":
+		return func(a, _ int) bool { return a != 0 }, nil
+	case "false":
+		return func(a, _ int) bool { return a == 0 }, nil
+	}
+	return nil, fmt.Errorf("trace: unknown op %q", op)
+}

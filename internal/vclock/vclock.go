@@ -1,0 +1,129 @@
+// Package vclock implements vector clocks over local state indices.
+//
+// A vector clock V for a local state s records, for every process q, the
+// largest state index j such that state (q, j) causally precedes or equals
+// s. Indices are 0-based; the sentinel -1 means "no state of q precedes s".
+// This convention makes the happened-before test on states an O(1)
+// comparison, which the predicate-control algorithms rely on.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// None is the component value meaning "no state of that process is known".
+const None = -1
+
+// VC is a vector clock with one component per process.
+type VC []int
+
+// New returns a vector clock of n components, all None.
+func New(n int) VC {
+	v := make(VC, n)
+	for i := range v {
+		v[i] = None
+	}
+	return v
+}
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	w := make(VC, len(v))
+	copy(w, v)
+	return w
+}
+
+// Merge sets v to the component-wise maximum of v and o.
+// The two clocks must have the same length.
+func (v VC) Merge(o VC) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: merge length mismatch %d vs %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int
+
+// The four possible relations between two vector clocks.
+const (
+	Equal Ordering = iota
+	Before
+	After
+	Concurrent
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Compare returns the relation of v to o in the component-wise partial
+// order: Before means v < o (every component ≤, at least one <).
+func (v VC) Compare(o VC) Ordering {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: compare length mismatch %d vs %d", len(v), len(o)))
+	}
+	le, ge := true, true
+	for i := range v {
+		switch {
+		case v[i] < o[i]:
+			ge = false
+		case v[i] > o[i]:
+			le = false
+		}
+	}
+	switch {
+	case le && ge:
+		return Equal
+	case le:
+		return Before
+	case ge:
+		return After
+	}
+	return Concurrent
+}
+
+// Less reports whether v < o in the component-wise partial order.
+func (v VC) Less(o VC) bool { return v.Compare(o) == Before }
+
+// LessEq reports whether v ≤ o in the component-wise partial order.
+func (v VC) LessEq(o VC) bool {
+	c := v.Compare(o)
+	return c == Before || c == Equal
+}
+
+// Concurrent reports whether neither v ≤ o nor o ≤ v.
+func (v VC) ConcurrentWith(o VC) bool { return v.Compare(o) == Concurrent }
+
+// String renders the clock as [a b c], with None shown as "-".
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if x == None {
+			b.WriteByte('-')
+		} else {
+			fmt.Fprintf(&b, "%d", x)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	v := New(3)
+	if len(v) != 3 {
+		t.Fatalf("len = %d, want 3", len(v))
+	}
+	for i, x := range v {
+		if x != None {
+			t.Errorf("v[%d] = %d, want None", i, x)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := VC{1, 2, 3}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Errorf("clone shares storage: v[0] = %d", v[0])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	v := VC{1, 5, None}
+	v.Merge(VC{3, 2, 0})
+	want := VC{3, 5, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Errorf("v[%d] = %d, want %d", i, v[i], want[i])
+		}
+	}
+}
+
+func TestMergeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	v := VC{1}
+	v.Merge(VC{1, 2})
+}
+
+func TestCompareLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	VC{1}.Compare(VC{1, 2})
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b VC
+		want Ordering
+	}{
+		{VC{0, 0}, VC{0, 0}, Equal},
+		{VC{0, 1}, VC{1, 1}, Before},
+		{VC{2, 1}, VC{1, 1}, After},
+		{VC{0, 2}, VC{2, 0}, Concurrent},
+		{VC{None, 0}, VC{0, 0}, Before},
+		{VC{None}, VC{None}, Equal},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLessAndLessEq(t *testing.T) {
+	a, b := VC{0, 0}, VC{1, 0}
+	if !a.Less(b) || b.Less(a) {
+		t.Error("Less misordered")
+	}
+	if !a.LessEq(a) {
+		t.Error("LessEq not reflexive")
+	}
+	if !a.LessEq(b) || b.LessEq(a) {
+		t.Error("LessEq misordered")
+	}
+}
+
+func TestConcurrentWith(t *testing.T) {
+	a, b := VC{0, 2}, VC{2, 0}
+	if !a.ConcurrentWith(b) || !b.ConcurrentWith(a) {
+		t.Error("expected concurrency")
+	}
+	if a.ConcurrentWith(a) {
+		t.Error("a concurrent with itself")
+	}
+}
+
+func TestString(t *testing.T) {
+	v := VC{None, 0, 12}
+	if got, want := v.String(), "[- 0 12]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got, want := Concurrent.String(), "concurrent"; got != want {
+		t.Errorf("Ordering.String() = %q, want %q", got, want)
+	}
+	if got, want := Ordering(42).String(), "Ordering(42)"; got != want {
+		t.Errorf("Ordering.String() = %q, want %q", got, want)
+	}
+}
+
+func randVC(r *rand.Rand, n int) VC {
+	v := New(n)
+	for i := range v {
+		v[i] = r.Intn(5) - 1
+	}
+	return v
+}
+
+// Property: Compare is antisymmetric — swapping the arguments swaps
+// Before/After and preserves Equal/Concurrent.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 4), randVC(r, 4)
+		x, y := a.Compare(b), b.Compare(a)
+		switch x {
+		case Equal:
+			return y == Equal
+		case Before:
+			return y == After
+		case After:
+			return y == Before
+		default:
+			return y == Concurrent
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge computes a least upper bound — both inputs are ≤ the
+// result, and the result is ≤ any other upper bound.
+func TestMergeLUBProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVC(r, 5), randVC(r, 5)
+		m := a.Clone()
+		m.Merge(b)
+		if !a.LessEq(m) || !b.LessEq(m) {
+			return false
+		}
+		// Any upper bound u of a and b dominates m.
+		u := a.Clone()
+		u.Merge(b)
+		for i := range u {
+			u[i] += r.Intn(3)
+		}
+		return m.LessEq(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge is commutative, associative, and idempotent.
+func TestMergeAlgebraProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randVC(r, 4), randVC(r, 4), randVC(r, 4)
+
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if ab.Compare(ba) != Equal {
+			return false
+		}
+
+		abc1 := ab.Clone()
+		abc1.Merge(c)
+		bc := b.Clone()
+		bc.Merge(c)
+		abc2 := a.Clone()
+		abc2.Merge(bc)
+		if abc1.Compare(abc2) != Equal {
+			return false
+		}
+
+		aa := a.Clone()
+		aa.Merge(a)
+		return aa.Compare(a) == Equal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,221 @@
+package predctl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestQuickstartFlow exercises the whole public API surface the way the
+// README's quickstart does: build, detect, control, verify, replay.
+func TestQuickstartFlow(t *testing.T) {
+	// Two servers, each with an unavailability window.
+	b := NewBuilder(2)
+	b.Let(0, "avail", 1)
+	b.Let(1, "avail", 1)
+	b.Step(0)
+	b.Let(0, "avail", 0)
+	b.Step(0)
+	b.Let(0, "avail", 1)
+	b.Step(1)
+	b.Let(1, "avail", 0)
+	b.Step(1)
+	b.Let(1, "avail", 1)
+	d := b.MustBuild()
+
+	avail := func(p int) LocalFn {
+		return func(dd *Computation, k int) bool {
+			v, ok := dd.Var(StateID{P: p, K: k}, "avail")
+			return ok && v == 1
+		}
+	}
+	B := NewDisjunction(2)
+	B.Add(0, "avail", avail(0))
+	B.Add(1, "avail", avail(1))
+
+	// The bug "no server available" is possible...
+	bug := B.Negate()
+	cut, possible := Possibly(d, bug)
+	if !possible {
+		t.Fatal("expected the bug to be possible")
+	}
+	if !d.Consistent(cut) {
+		t.Fatal("witness inconsistent")
+	}
+	// ...but not inevitable, so a controller exists.
+	if _, definitely := Definitely(d, bug); definitely {
+		t.Fatal("bug should not be inevitable here")
+	}
+	res, err := Control(d, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Extend(d, res.Relation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Consistent(d.BottomCut()) {
+		t.Fatal("⊥ must stay consistent")
+	}
+	// Replay the controlled computation and verify.
+	rr, err := Replay(d, res.Relation, ReplayConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vcut, ok := VerifyReplay(rr, d, B); !ok {
+		t.Fatalf("controlled replay violates B at %v", vcut)
+	}
+	// Round-trip through the trace format.
+	var buf bytes.Buffer
+	if err := EncodeTrace(&buf, d, res.Relation); err != nil {
+		t.Fatal(err)
+	}
+	d2, rel2, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumStates() != d.NumStates() || len(rel2) != len(res.Relation) {
+		t.Fatal("trace round trip mismatch")
+	}
+}
+
+func TestPredicateCombinators(t *testing.T) {
+	b := NewBuilder(1)
+	b.Step(0)
+	d := b.MustBuild()
+	after := Local(0, "after1", func(_ *Computation, k int) bool { return k >= 1 })
+	e := Or(And(after, Const(true)), Not(Const(true)))
+	if e.Eval(d, Cut{0}) || !e.Eval(d, Cut{1}) {
+		t.Fatal("combinators wrong")
+	}
+	if v := Violations(d, after); len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if _, ok := SGSD(d, Const(true), false); !ok {
+		t.Fatal("SGSD trivial failed")
+	}
+}
+
+func TestInfeasibleSurfaceError(t *testing.T) {
+	b := NewBuilder(1)
+	b.Step(0)
+	d := b.MustBuild()
+	B := NewDisjunction(1) // constant false: trivially infeasible
+	_, err := Control(d, B)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := ControlGeneral(d, Const(false)); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("general err = %v", err)
+	}
+}
+
+func TestOnlineFacade(t *testing.T) {
+	apps := make([]func(*Guard), 2)
+	for i := range apps {
+		apps[i] = func(g *Guard) {
+			p := g.P()
+			p.Init("cs", 0)
+			for r := 0; r < 3; r++ {
+				p.Work(Time(5))
+				g.RequestFalse()
+				p.Set("cs", 1)
+				p.Work(Time(3))
+				p.Set("cs", 0)
+				g.NowTrue()
+			}
+		}
+	}
+	tr, stats, err := OnlineRun(OnlineConfig{N: 2, Delay: 2, Trace: true}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 6 {
+		t.Fatalf("requests = %d", stats.Requests)
+	}
+	inCS := NewConjunction(tr.D.NumProcs())
+	for p := 0; p < 2; p++ {
+		p := p
+		inCS.Add(p, "cs", func(dd *Computation, k int) bool {
+			v, ok := dd.Var(StateID{P: p, K: k}, "cs")
+			return ok && v == 1
+		})
+	}
+	if cut, bad := Possibly(tr.D, inCS); bad {
+		t.Fatalf("mutual exclusion violated at %v", cut)
+	}
+}
+
+func TestSimFacade(t *testing.T) {
+	k := NewSim(SimConfig{Procs: 2, Trace: true})
+	tr, err := k.Run(
+		func(p *Proc) { p.Send(1, "x") },
+		func(p *Proc) { p.Recv() },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Messages != 1 {
+		t.Fatal("stats wrong")
+	}
+}
+
+func TestMonitorFacade(t *testing.T) {
+	apps := []func(*Probe){
+		func(pr *Probe) {
+			pr.P().Init("q", 1)
+			pr.SetLocal(true)
+			pr.P().Work(5)
+		},
+		func(pr *Probe) {
+			pr.P().Init("q", 1)
+			pr.SetLocal(true)
+			pr.P().Work(5)
+		},
+	}
+	_, det, err := MonitorRun(SimConfig{Seed: 3}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Found {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestSnapshotFacade(t *testing.T) {
+	col := NewSnapshotCollector()
+	k := NewSim(SimConfig{Procs: 2, FIFO: true, Trace: true, Delay: ConstantDelay(3)})
+	mk := func(init bool) func(*Proc) {
+		return func(p *Proc) {
+			x := 10
+			n := NewSnapshotNode(p, col, func() any { return x })
+			if init && p.ID() == 0 {
+				n.Initiate()
+			}
+			for {
+				_, _, ok := n.RecvOrDone()
+				if !ok {
+					break
+				}
+			}
+		}
+	}
+	if _, err := k.Run(mk(true), mk(false)); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Records) != 2 {
+		t.Fatalf("records = %d", len(col.Records))
+	}
+}
+
+func TestAnalyzeRacesFacade(t *testing.T) {
+	b := NewBuilder(3)
+	_, h0 := b.Send(0)
+	_, h1 := b.Send(1)
+	b.Recv(2, h0)
+	b.Recv(2, h1)
+	rep := AnalyzeRaces(b.MustBuild())
+	if rep.Receives != 2 || len(rep.Races) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
