@@ -1,0 +1,30 @@
+# predctl build/test entry points. `make check` is the tier-1 gate
+# (README §Testing): build + vet + race-detector test run, the bar every
+# change must clear.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench baseline
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# Regenerate the committed parallel-engine baseline (internal/expt E10).
+baseline:
+	$(GO) run ./cmd/pcbench -baseline BENCH_baseline.json

@@ -1,0 +1,75 @@
+package predctl
+
+import (
+	"fmt"
+
+	"predctl/internal/detect"
+	"predctl/internal/offline"
+	"predctl/internal/par"
+)
+
+// This file is the batch layer of the parallel engine: many traced
+// computations analyzed concurrently across a worker pool, the shape of
+// the E1/E2-style sweeps (one verdict per trace, order preserved).
+// Within a batch each trace is analyzed with the detection engine
+// forced sequential — the batch already saturates the pool with
+// trace-level work, and stacking per-trace sharding on top would only
+// oversubscribe the scheduler. Analyze a single huge trace with
+// Possibly/Definitely/Violations instead: those shard internally.
+
+// DetectVerdict is DetectBatch's per-trace result: the Possibly witness
+// cut and the Definitely witness interval set, as from the Possibly and
+// Definitely functions.
+type DetectVerdict struct {
+	Cut       Cut
+	Possible  bool
+	Intervals []Interval
+	Definite  bool
+}
+
+// DetectBatch runs conjunctive detection (Possibly and Definitely) on
+// many traces concurrently across `workers` goroutines (0 means
+// GOMAXPROCS). qs[i] is evaluated on ds[i]; the lists must have equal
+// length. Verdicts come back in input order. The local predicates in qs
+// must be pure functions of their state index — batch workers evaluate
+// them concurrently.
+func DetectBatch(ds []*Computation, qs []*Conjunction, workers int) ([]DetectVerdict, error) {
+	if len(ds) != len(qs) {
+		return nil, fmt.Errorf("predctl: %d computations for %d conjunctions", len(ds), len(qs))
+	}
+	out := make([]DetectVerdict, len(ds))
+	seq := detect.Par{Workers: 1}
+	par.ForEach(len(ds), workers, func(i int) {
+		d, q := ds[i], qs[i]
+		holds := func(p, k int) bool { return q.Holds(d, p, k) }
+		out[i].Cut, out[i].Possible = detect.PossiblyTruthPar(d, holds, seq)
+		out[i].Intervals, out[i].Definite = detect.DefinitelyTruthPar(d, holds, seq)
+	})
+	return out, nil
+}
+
+// ControlVerdict is ControlBatch's per-trace result: exactly what
+// Control returns for that trace (Err is ErrInfeasible — with the
+// witness in Res — when no controller exists).
+type ControlVerdict struct {
+	Res *ControlResult
+	Err error
+}
+
+// ControlBatch synthesizes off-line controllers for many traces
+// concurrently across `workers` goroutines (0 means GOMAXPROCS).
+// bs[i] is enforced on ds[i]; the lists must have equal length.
+// Verdicts come back in input order. The local predicates in bs must be
+// pure functions of their state index — batch workers evaluate them
+// concurrently.
+func ControlBatch(ds []*Computation, bs []*Disjunction, workers int) ([]ControlVerdict, error) {
+	if len(ds) != len(bs) {
+		return nil, fmt.Errorf("predctl: %d computations for %d disjunctions", len(ds), len(bs))
+	}
+	out := make([]ControlVerdict, len(ds))
+	opts := offline.Options{Par: detect.Par{Workers: 1}}
+	par.ForEach(len(ds), workers, func(i int) {
+		out[i].Res, out[i].Err = offline.Control(ds[i], bs[i], opts)
+	})
+	return out, nil
+}

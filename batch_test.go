@@ -1,0 +1,137 @@
+package predctl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"predctl/internal/deposet"
+	"predctl/internal/predicate"
+)
+
+// batchWorkload builds count random traced computations with random
+// conjunctive and disjunctive predicates over them.
+func batchWorkload(seed int64, count int) ([]*Computation, []*Conjunction, []*Disjunction) {
+	r := rand.New(rand.NewSource(seed))
+	ds := make([]*Computation, count)
+	qs := make([]*Conjunction, count)
+	bs := make([]*Disjunction, count)
+	for i := range ds {
+		d := deposet.Random(r, deposet.DefaultGen(2+r.Intn(4), 10+r.Intn(50)))
+		ds[i] = d
+		qt := deposet.RandomTruth(r, d, 0.4)
+		cj := NewConjunction(d.NumProcs())
+		for p := 0; p < d.NumProcs(); p++ {
+			tp := qt[p]
+			cj.Add(p, "q", func(_ *Computation, k int) bool { return tp[k] })
+		}
+		qs[i] = cj
+		bs[i] = predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.8))
+	}
+	return ds, qs, bs
+}
+
+// DetectBatch must agree with the one-trace-at-a-time facade calls, for
+// every worker count.
+func TestDetectBatchMatchesSequential(t *testing.T) {
+	ds, qs, _ := batchWorkload(21, 40)
+	for _, workers := range []int{1, 2, 4, 7} {
+		got, err := DetectBatch(ds, qs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ds) {
+			t.Fatalf("workers=%d: %d verdicts for %d traces", workers, len(got), len(ds))
+		}
+		for i := range ds {
+			cut, possible := Possibly(ds[i], qs[i])
+			ivs, definite := Definitely(ds[i], qs[i])
+			v := got[i]
+			if v.Possible != possible || v.Definite != definite {
+				t.Fatalf("workers=%d trace %d: verdicts (%v,%v), want (%v,%v)",
+					workers, i, v.Possible, v.Definite, possible, definite)
+			}
+			if possible && !v.Cut.Equal(cut) {
+				t.Fatalf("workers=%d trace %d: cut %v, want %v", workers, i, v.Cut, cut)
+			}
+			if definite {
+				for j := range ivs {
+					if v.Intervals[j] != ivs[j] {
+						t.Fatalf("workers=%d trace %d: interval %d differs", workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ControlBatch must agree with one-at-a-time Control: same feasibility
+// split and identical relations.
+func TestControlBatchMatchesSequential(t *testing.T) {
+	ds, _, bs := batchWorkload(22, 40)
+	for _, workers := range []int{1, 3, 8} {
+		got, err := ControlBatch(ds, bs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ds {
+			want, wantErr := Control(ds[i], bs[i])
+			v := got[i]
+			if (v.Err == nil) != (wantErr == nil) {
+				t.Fatalf("workers=%d trace %d: err %v, want %v", workers, i, v.Err, wantErr)
+			}
+			if wantErr != nil {
+				if !errors.Is(v.Err, ErrInfeasible) {
+					t.Fatalf("workers=%d trace %d: err %v", workers, i, v.Err)
+				}
+				continue
+			}
+			if len(v.Res.Relation) != len(want.Relation) {
+				t.Fatalf("workers=%d trace %d: %d edges, want %d",
+					workers, i, len(v.Res.Relation), len(want.Relation))
+			}
+			for j := range want.Relation {
+				if v.Res.Relation[j] != want.Relation[j] {
+					t.Fatalf("workers=%d trace %d: edge %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// A synthesized batch controller still verifies end to end through the
+// replay path.
+func TestControlBatchReplayRoundTrip(t *testing.T) {
+	ds, _, bs := batchWorkload(23, 8)
+	got, err := ControlBatch(ds, bs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := 0
+	for i, v := range got {
+		if v.Err != nil {
+			continue
+		}
+		rr, err := Replay(ds[i], v.Res.Relation, ReplayConfig{Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("trace %d: replay: %v", i, err)
+		}
+		if cut, ok := VerifyReplay(rr, ds[i], bs[i]); !ok {
+			t.Fatalf("trace %d: replay violates predicate at %v", i, cut)
+		}
+		replayed++
+	}
+	if replayed == 0 {
+		t.Fatal("no feasible instance in batch workload; adjust seed")
+	}
+}
+
+func TestBatchLengthMismatch(t *testing.T) {
+	ds, qs, bs := batchWorkload(24, 3)
+	if _, err := DetectBatch(ds[:2], qs, 0); err == nil {
+		t.Fatal("DetectBatch accepted mismatched lengths")
+	}
+	if _, err := ControlBatch(ds, bs[:1], 0); err == nil {
+		t.Fatal("ControlBatch accepted mismatched lengths")
+	}
+}

@@ -242,6 +242,74 @@ func BenchmarkE8ControlCNF(b *testing.B) {
 	}
 }
 
+// --- E10: parallel detection/control engine ---
+//
+// Worker counts resolve from GOMAXPROCS, so `go test -bench E10 -cpu 1,4`
+// produces the sequential and 4-worker variants of every target; the
+// committed BENCH_baseline.json records the same sweep via
+// `pcbench -baseline` (see internal/expt/e10.go).
+
+func BenchmarkE10BuildParallel(b *testing.B) {
+	r := rand.New(rand.NewSource(10))
+	bld := deposet.RandomBuilder(r, deposet.DefaultGen(32, 16000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bld.BuildParallel(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10PossiblyPar(b *testing.B) {
+	r := rand.New(rand.NewSource(10))
+	d := deposet.Random(r, deposet.DefaultGen(32, 16000))
+	truth := deposet.RandomTruth(r, d, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.PossiblyTruthPar(d, func(p, k int) bool { return truth[p][k] }, detect.Par{})
+	}
+}
+
+func BenchmarkE10DefinitelyPar(b *testing.B) {
+	r := rand.New(rand.NewSource(10))
+	d := deposet.Random(r, deposet.DefaultGen(32, 16000))
+	truth := deposet.RandomTruth(r, d, 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.DefinitelyTruthPar(d, func(p, k int) bool { return truth[p][k] }, detect.Par{})
+	}
+}
+
+func BenchmarkE10ViolationsPar(b *testing.B) {
+	// Small lattice (33³ cuts); Cutoff 1 so the level-synchronous search
+	// still shards at whatever GOMAXPROCS the -cpu flag sets.
+	d, dj := e2Workload(3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.AllViolationsPar(d, dj, detect.Par{Cutoff: 1})
+	}
+}
+
+func BenchmarkE10DetectBatch(b *testing.B) {
+	ds, qs, _ := batchWorkload(10, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectBatch(ds, qs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE10ControlBatch(b *testing.B) {
+	ds, _, bs := batchWorkload(10, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ControlBatch(ds, bs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkVClockMerge(b *testing.B) {

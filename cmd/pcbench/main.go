@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	pcbench            # run every experiment
-//	pcbench e4 e6      # run selected experiments
-//	pcbench -seed 42   # change the workload seed
+//	pcbench                              # run every experiment
+//	pcbench e4 e6                        # run selected experiments
+//	pcbench -seed 42                     # change the workload seed
+//	pcbench -baseline BENCH_baseline.json # record the parallel-engine baseline
 package main
 
 import (
@@ -18,7 +19,21 @@ import (
 
 func main() {
 	seed := flag.Int64("seed", 1998, "workload seed")
+	baseline := flag.String("baseline", "", "write the parallel-engine baseline (E10 sweep) as JSON to this file and exit")
 	flag.Parse()
+	if *baseline != "" {
+		doc, err := expt.BaselineJSON(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*baseline, doc, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *baseline)
+		return
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		for _, t := range expt.All(*seed) {
@@ -29,7 +44,7 @@ func main() {
 	for _, id := range ids {
 		t := expt.ByID(id, *seed)
 		if t == nil {
-			fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q (want e1..e9)\n", id)
+			fmt.Fprintf(os.Stderr, "pcbench: unknown experiment %q (want e1..e10)\n", id)
 			os.Exit(1)
 		}
 		fmt.Println(t)

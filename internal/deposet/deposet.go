@@ -272,7 +272,16 @@ func (b *Builder) fail(err error) {
 
 // Build validates the computation and computes vector clocks. The builder
 // remains usable; Build may be called repeatedly as the computation grows.
+// Computations of at least ParallelClockCutoff total states have their
+// clocks constructed in process-sharded parallel passes across GOMAXPROCS
+// workers (see BuildParallel for explicit control); smaller ones use the
+// sequential fixpoint, which is faster at that scale.
 func (b *Builder) Build() (*Deposet, error) {
+	return b.build(clockWorkers(b.lens))
+}
+
+// build is Build with the clock-construction worker count resolved.
+func (b *Builder) build(workers int) (*Deposet, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
@@ -286,7 +295,13 @@ func (b *Builder) Build() (*Deposet, error) {
 		d.sendMsg[p] = append([]int(nil), b.sendMsg[p]...)
 		d.recvMsg[p] = append([]int(nil), b.recvMsg[p]...)
 	}
-	if err := d.computeClocks(); err != nil {
+	var err error
+	if workers > 1 {
+		err = d.computeClocksParallel(workers)
+	} else {
+		err = d.computeClocks()
+	}
+	if err != nil {
 		return nil, err
 	}
 	if b.hasVars {
@@ -324,18 +339,12 @@ var ErrCyclic = errors.New("deposet: causal precedence is cyclic")
 
 // computeClocks assigns vc[p][k] for every state, processing events in a
 // causality-respecting order; it fails with ErrCyclic if none exists.
+// computeClocksParallel (parclock.go) is the sharded variant for large
+// computations.
 func (d *Deposet) computeClocks() error {
 	n := len(d.lens)
-	d.vc = make([][]vclock.VC, n)
+	remaining := d.initClockRows()
 	done := make([]int, n) // highest state index already clocked
-	remaining := 0
-	for p := 0; p < n; p++ {
-		d.vc[p] = make([]vclock.VC, d.lens[p])
-		v := vclock.New(n)
-		v[p] = 0
-		d.vc[p][0] = v
-		remaining += d.lens[p] - 1
-	}
 	for remaining > 0 {
 		progress := false
 		for p := 0; p < n; p++ {

@@ -21,6 +21,13 @@ func DefaultGen(procs, events int) GenConfig {
 // linearization, so the result is always acyclic. Messages still in
 // flight at the end remain unreceived (allowed by the model).
 func Random(r *rand.Rand, cfg GenConfig) *Deposet {
+	return RandomBuilder(r, cfg).MustBuild()
+}
+
+// RandomBuilder generates the same computation as Random but returns
+// the populated Builder, so one recorded construction can be built
+// repeatedly (e.g. sequentially and with several worker counts).
+func RandomBuilder(r *rand.Rand, cfg GenConfig) *Builder {
 	b := NewBuilder(cfg.Procs)
 	type flight struct {
 		h  MsgHandle
@@ -48,7 +55,7 @@ func Random(r *rand.Rand, cfg GenConfig) *Deposet {
 			b.Step(r.Intn(cfg.Procs))
 		}
 	}
-	return b.MustBuild()
+	return b
 }
 
 // RandomTruth generates a random local-predicate truth assignment for d:

@@ -1,0 +1,109 @@
+package deposet
+
+import (
+	"predctl/internal/par"
+
+	"predctl/internal/vclock"
+)
+
+// ParallelClockCutoff is the minimum total state count at which Build
+// shards vector-clock construction across workers. Below it the
+// sequential fixpoint wins outright: a pass over a few thousand states
+// costs less than the barrier synchronization between parallel passes.
+const ParallelClockCutoff = 4096
+
+// clockWorkers applies the cutoff heuristic: parallel workers for
+// computations of at least ParallelClockCutoff total states, 1 below.
+func clockWorkers(lens []int) int {
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	if total < ParallelClockCutoff {
+		return 1
+	}
+	return par.Workers(0, len(lens))
+}
+
+// BuildParallel is Build with an explicit worker count for vector-clock
+// construction: workers ≤ 0 resolves to GOMAXPROCS, 1 forces the
+// sequential fixpoint, and any value is clamped to the process count.
+// The ParallelClockCutoff heuristic does not apply — callers choosing
+// BuildParallel have decided; Build is the right default.
+func (b *Builder) BuildParallel(workers int) (*Deposet, error) {
+	return b.build(par.Workers(workers, b.n))
+}
+
+// initClockRows allocates the clock table and seeds every ⊥p.
+func (d *Deposet) initClockRows() (remaining int) {
+	n := len(d.lens)
+	d.vc = make([][]vclock.VC, n)
+	for p := 0; p < n; p++ {
+		d.vc[p] = make([]vclock.VC, d.lens[p])
+		v := vclock.New(n)
+		v[p] = 0
+		d.vc[p][0] = v
+		remaining += d.lens[p] - 1
+	}
+	return remaining
+}
+
+// computeClocksParallel assigns vector clocks with processes sharded
+// across workers, in synchronized passes over a snapshot of the
+// previous pass's progress.
+//
+// Within a pass, worker w owns a contiguous process shard and advances
+// each owned process as far as possible: the clock of state (p, e)
+// needs the clock of (p, e−1) — owned, written this pass — and, for a
+// receive, the sender's pre-send state (q, SendEvent−1) — readable only
+// if q's progress *at the last barrier* (the snap array) covers it, or
+// q == p (a self-message's send always precedes its receive locally).
+// Writes stay inside the shard (vc rows and done entries of owned
+// processes); cross-shard reads touch only states published before the
+// last barrier, so a pass never races with itself. A pass that advances
+// nothing with states remaining means causal precedence is cyclic,
+// exactly as in the sequential fixpoint.
+//
+// The pass count is bounded by the longest chain of cross-process
+// message dependencies — the same bound as the sequential outer loop —
+// while each pass does its O(states·n) clock work in parallel shards.
+func (d *Deposet) computeClocksParallel(workers int) error {
+	n := len(d.lens)
+	remaining := d.initClockRows()
+	done := make([]int, n)           // done[p]: highest state index of p clocked
+	snap := make([]int, n)           // done as of the previous barrier
+	advanced := make([]int, workers) // per-worker advance counts (owned slots)
+	for remaining > 0 {
+		copy(snap, done)
+		par.ForShard(n, workers, func(w, lo, hi int) {
+			count := 0
+			for p := lo; p < hi; p++ {
+				for done[p] < d.lens[p]-1 {
+					e := done[p] + 1
+					v := d.vc[p][e-1].Clone()
+					if mi := d.recvMsg[p][e]; mi >= 0 {
+						m := d.msgs[mi]
+						if m.SendEvent-1 > snap[m.FromP] && m.FromP != p {
+							break // sender state not published yet
+						}
+						v.Merge(d.vc[m.FromP][m.SendEvent-1])
+					}
+					v[p] = e
+					d.vc[p][e] = v
+					done[p] = e
+					count++
+				}
+			}
+			advanced[w] = count
+		})
+		progress := 0
+		for _, c := range advanced {
+			progress += c
+		}
+		if progress == 0 {
+			return ErrCyclic
+		}
+		remaining -= progress
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package deposet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clocksEqual compares the full clock tables of two builds of the same
+// computation.
+func clocksEqual(a, b *Deposet) bool {
+	if a.NumProcs() != b.NumProcs() {
+		return false
+	}
+	for p := 0; p < a.NumProcs(); p++ {
+		if a.Len(p) != b.Len(p) {
+			return false
+		}
+		for k := 0; k < a.Len(p); k++ {
+			va, vb := a.vc[p][k], b.vc[p][k]
+			for q := range va {
+				if va[q] != vb[q] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Property: the process-sharded parallel clock construction produces
+// exactly the sequential clocks, for every worker count, on random
+// message-heavy computations.
+func TestBuildParallelMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		procs := 1 + r.Intn(6)
+		b := NewBuilder(procs)
+		type flight struct {
+			h  MsgHandle
+			to int
+		}
+		var pending []flight
+		for i := 0; i < 40+r.Intn(120); i++ {
+			switch x := r.Float64(); {
+			case x < 0.4 && len(pending) > 0:
+				j := r.Intn(len(pending))
+				f := pending[j]
+				pending[j] = pending[len(pending)-1]
+				pending = pending[:len(pending)-1]
+				b.Recv(f.to, f.h)
+			case x < 0.7 && procs > 1:
+				from := r.Intn(procs)
+				to := r.Intn(procs)
+				_, h := b.Send(from)
+				pending = append(pending, flight{h, to}) // self-sends allowed
+			default:
+				b.Step(r.Intn(procs))
+			}
+		}
+		seq, err := b.BuildParallel(1)
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{2, 3, 4, 8} {
+			p, err := b.BuildParallel(workers)
+			if err != nil || !clocksEqual(seq, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Large computations cross the cutoff inside plain Build; make sure the
+// auto-parallel path agrees with the forced-sequential one end to end
+// (HB queries, not just raw clocks).
+func TestBuildAutoParallelLargeTrace(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cfg := DefaultGen(8, 2*ParallelClockCutoff)
+	b := RandomBuilder(r, cfg)
+	seq, err := b.BuildParallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clocksEqual(seq, auto) {
+		t.Fatal("auto Build clocks differ from sequential")
+	}
+	for trial := 0; trial < 500; trial++ {
+		s := StateID{P: r.Intn(8), K: r.Intn(seq.Len(0))}
+		u := StateID{P: r.Intn(8), K: r.Intn(seq.Len(0))}
+		if s.K >= seq.Len(s.P) || u.K >= seq.Len(u.P) {
+			continue
+		}
+		if seq.HB(s, u) != auto.HB(s, u) {
+			t.Fatalf("HB(%v, %v) differs", s, u)
+		}
+	}
+}
+
+// A cyclic message pattern must be rejected by the parallel fixpoint
+// just as by the sequential one: each receive precedes the other
+// message's send, so no pass can make progress.
+func TestComputeClocksParallelDetectsCycle(t *testing.T) {
+	raw := Raw{
+		Lens: []int{3, 3},
+		Msgs: []Message{
+			{FromP: 0, SendEvent: 2, ToP: 1, RecvEvent: 1},
+			{FromP: 1, SendEvent: 2, ToP: 0, RecvEvent: 1},
+		},
+	}
+	d, err := FromRaw(raw) // small: sequential path
+	if err != ErrCyclic {
+		t.Fatalf("FromRaw = %v, %v; want ErrCyclic", d, err)
+	}
+	// Drive the parallel fixpoint directly on the same structure.
+	c := &Deposet{
+		lens:    []int{3, 3},
+		msgs:    raw.Msgs,
+		sendMsg: [][]int{{-1, -1, 0}, {-1, -1, 1}},
+		recvMsg: [][]int{{-1, 1, -1}, {-1, 0, -1}},
+	}
+	for _, workers := range []int{2, 4} {
+		if err := c.computeClocksParallel(workers); err != ErrCyclic {
+			t.Fatalf("workers=%d: err = %v, want ErrCyclic", workers, err)
+		}
+	}
+}

@@ -24,9 +24,11 @@ import (
 // process's conjunct) and, whenever two candidates are causally ordered,
 // advance the earlier one — it can never be part of a consistent cut with
 // the later one or any of its successors. Time O(n²·S) for S total
-// states; no lattice enumeration.
+// states; no lattice enumeration. Large computations (DefaultParCutoff
+// total states) run the worker-sharded variant transparently; see
+// PossiblyTruthPar.
 func PossiblyConjunctive(d *deposet.Deposet, cj *predicate.Conjunction) (deposet.Cut, bool) {
-	return PossiblyTruth(d, func(p, k int) bool { return cj.Holds(d, p, k) })
+	return PossiblyTruthPar(d, func(p, k int) bool { return cj.Holds(d, p, k) }, Par{})
 }
 
 // Overlaps evaluates the paper's overlap clause for the ordered pair of
@@ -56,8 +58,10 @@ func Overlaps(d *deposet.Deposet, ii, ij deposet.Interval) bool {
 // interval per process and, when a pair (i, j) falsifies the overlap
 // clause, advance j — interval Iⱼ can never overlap the current or any
 // later interval of i, because interval starts only move causally later.
+// Large computations run the worker-sharded variant transparently; see
+// DefinitelyTruthPar.
 func DefinitelyConjunctive(d *deposet.Deposet, cj *predicate.Conjunction) ([]deposet.Interval, bool) {
-	return DefinitelyTruth(d, func(p, k int) bool { return cj.Holds(d, p, k) })
+	return DefinitelyTruthPar(d, func(p, k int) bool { return cj.Holds(d, p, k) }, Par{})
 }
 
 // PossiblyGeneral reports whether some consistent global state satisfies

@@ -1,0 +1,258 @@
+package detect
+
+import (
+	"sort"
+
+	"predctl/internal/deposet"
+	"predctl/internal/par"
+	"predctl/internal/predicate"
+)
+
+// DefaultParCutoff is the minimum total state count at which the
+// detection algorithms shard across workers. Below it a handful of
+// frontier rounds costs less than one barrier, so small traces take the
+// sequential path and cannot regress.
+const DefaultParCutoff = 2048
+
+// Par configures the parallel detection engine. The zero value is the
+// transparent default: GOMAXPROCS workers above DefaultParCutoff total
+// states, sequential below. Tests force the parallel path with
+// {Workers: k, Cutoff: 1}; Workers: 1 forces sequential at any size.
+type Par struct {
+	// Workers is the worker count; 0 resolves to GOMAXPROCS.
+	Workers int
+	// Cutoff is the minimum total state count for going parallel; 0
+	// resolves to DefaultParCutoff.
+	Cutoff int
+}
+
+// resolve returns the effective worker count for a view of `states`
+// total states: 1 (sequential) below the cutoff or when only one worker
+// is available.
+func (o Par) resolve(states int) int {
+	cutoff := o.Cutoff
+	if cutoff <= 0 {
+		cutoff = DefaultParCutoff
+	}
+	if states < cutoff {
+		return 1
+	}
+	return par.Workers(o.Workers, states)
+}
+
+func viewStates(v deposet.View) int {
+	total := 0
+	for p := 0; p < v.NumProcs(); p++ {
+		total += v.Len(p)
+	}
+	return total
+}
+
+// PossiblyTruthPar is PossiblyTruth with the candidate-elimination scan
+// sharded across workers.
+//
+// Both variants compute the same least fixed point: the minimal cut
+// where every process sits at a holds-state and no frontier state
+// causally precedes another. The sequential loop retires one doomed
+// candidate per iteration; here each round flags, in parallel shards of
+// the O(n²) pair scan, *every* process whose candidate causally
+// precedes some other candidate, then advances all of them at once — a
+// flagged candidate can never join any consistent cut with the later
+// candidates, so batched advancement preserves the invariant (this is
+// the round structure of Garg's work-optimal parallel detection). With
+// one worker it falls through to the sequential implementation.
+func PossiblyTruthPar(v deposet.View, holds HoldsFn, opts Par) (deposet.Cut, bool) {
+	n := v.NumProcs()
+	workers := opts.resolve(viewStates(v))
+	if workers == 1 {
+		return PossiblyTruth(v, holds)
+	}
+	cur := make(deposet.Cut, n)
+	seek := func(p int) bool {
+		for cur[p] < v.Len(p) && !holds(p, cur[p]) {
+			cur[p]++
+		}
+		return cur[p] < v.Len(p)
+	}
+	dead := make([]bool, workers) // per-shard "some process exhausted"
+	par.ForShard(n, workers, func(w, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			if !seek(p) {
+				dead[w] = true
+				return
+			}
+		}
+	})
+	for _, d := range dead {
+		if d {
+			return nil, false
+		}
+	}
+	flag := make([]bool, n)
+	for {
+		par.ForShard(n, workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				si := deposet.StateID{P: i, K: cur[i]}
+				flag[i] = false
+				for j := 0; j < n; j++ {
+					if i != j && v.HB(si, deposet.StateID{P: j, K: cur[j]}) {
+						flag[i] = true
+						break
+					}
+				}
+			}
+		})
+		advanced := false
+		for i := 0; i < n; i++ {
+			if flag[i] {
+				cur[i]++
+				if !seek(i) {
+					return nil, false
+				}
+				advanced = true
+			}
+		}
+		if !advanced {
+			return cur, true
+		}
+	}
+}
+
+// DefinitelyTruthPar is DefinitelyTruth with the interval extraction
+// and the Lemma 2 overlap scan sharded across workers.
+//
+// The frontier of one candidate interval per process is advanced in
+// rounds: a round flags, in parallel shards over j, every interval Iⱼ
+// falsifying the overlap clause against some frontier Iᵢ. Such an
+// interval can never overlap Iᵢ or any later interval of i (interval
+// starts only move causally later), so it is dead no matter what the
+// other processes do, and batched advancement reaches the same least
+// fixed point the sequential one-at-a-time loop does.
+func DefinitelyTruthPar(v deposet.View, holds HoldsFn, opts Par) ([]deposet.Interval, bool) {
+	n := v.NumProcs()
+	workers := opts.resolve(viewStates(v))
+	if workers == 1 {
+		return DefinitelyTruth(v, holds)
+	}
+	ivs := make([][]deposet.Interval, n)
+	par.ForEach(n, workers, func(p int) {
+		ivs[p] = truthIntervals(v, p, holds)
+	})
+	for p := 0; p < n; p++ {
+		if len(ivs[p]) == 0 {
+			return nil, false
+		}
+	}
+	cur := make([]int, n)
+	flag := make([]bool, n)
+	for {
+		par.ForShard(n, workers, func(_, lo, hi int) {
+			for j := lo; j < hi; j++ {
+				flag[j] = false
+				for i := 0; i < n; i++ {
+					if i != j && !OverlapsView(v, ivs[i][cur[i]], ivs[j][cur[j]]) {
+						flag[j] = true
+						break
+					}
+				}
+			}
+		})
+		advanced := false
+		for j := 0; j < n; j++ {
+			if flag[j] {
+				cur[j]++
+				if cur[j] == len(ivs[j]) {
+					return nil, false
+				}
+				advanced = true
+			}
+		}
+		if !advanced {
+			witness := make([]deposet.Interval, n)
+			for p := 0; p < n; p++ {
+				witness[p] = ivs[p][cur[p]]
+			}
+			return witness, true
+		}
+	}
+}
+
+// TruthIntervalsInto fills dst[p] with the maximal runs where holds is
+// true on process p, extracting the per-process interval lists in
+// parallel shards (each process's scan is independent). dst must have
+// NumProcs entries. The off-line controller uses it to extract
+// false-intervals by negating its local predicates.
+func TruthIntervalsInto(dst [][]deposet.Interval, v deposet.View, opts Par, holds HoldsFn) {
+	n := v.NumProcs()
+	workers := opts.resolve(viewStates(v))
+	par.ForEach(n, workers, func(p int) {
+		dst[p] = truthIntervals(v, p, holds)
+	})
+}
+
+// AllViolationsPar is AllViolations with the lattice enumeration
+// level-synchronized and sharded across workers: the consistent cuts at
+// lattice depth ℓ (sum of frontier indices) all have depth-(ℓ+1)
+// successors, so each level's consistency checks and predicate
+// evaluations run in parallel shards, with a deterministic (sorted)
+// merge between levels. The violation list therefore comes out in
+// (depth, lexicographic) order — a fixed order, though not the BFS
+// discovery order the sequential enumerator happens to produce.
+func AllViolationsPar(d *deposet.Deposet, b predicate.Expr, opts Par) []deposet.Cut {
+	workers := opts.resolve(d.NumStates())
+	if workers == 1 {
+		return AllViolations(d, b)
+	}
+	n := d.NumProcs()
+	var out []deposet.Cut
+	level := []deposet.Cut{d.BottomCut()}
+	type shardResult struct {
+		violations []deposet.Cut
+		next       map[string]deposet.Cut
+	}
+	results := make([]shardResult, workers)
+	for len(level) > 0 {
+		par.ForShard(len(level), workers, func(w, lo, hi int) {
+			res := shardResult{next: make(map[string]deposet.Cut)}
+			for x := lo; x < hi; x++ {
+				g := level[x]
+				if !b.Eval(d, g) {
+					res.violations = append(res.violations, g)
+				}
+				for p := 0; p < n; p++ {
+					if g[p]+1 >= d.Len(p) {
+						continue
+					}
+					h := g.Clone()
+					h[p]++
+					key := h.Key()
+					if _, dup := res.next[key]; dup {
+						continue
+					}
+					if d.Consistent(h) {
+						res.next[key] = h
+					}
+				}
+			}
+			results[w] = res
+		})
+		merged := make(map[string]deposet.Cut)
+		for w := range results {
+			for k, c := range results[w].next {
+				merged[k] = c
+			}
+			out = append(out, results[w].violations...)
+			results[w] = shardResult{}
+		}
+		keys := make([]string, 0, len(merged))
+		for k := range merged {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		level = level[:0]
+		for _, k := range keys {
+			level = append(level, merged[k])
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predctl/internal/deposet"
+	"predctl/internal/predicate"
+)
+
+// forcePar runs the parallel engine regardless of trace size.
+func forcePar(workers int) Par { return Par{Workers: workers, Cutoff: 1} }
+
+// Property: PossiblyTruthPar computes exactly the sequential result —
+// same verdict and the same (least) witness cut — on random deposets,
+// for every worker count.
+func TestPossiblyParMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(6), r.Intn(60)))
+		truth := deposet.RandomTruth(r, d, 0.3+r.Float64()*0.4)
+		holds := func(p, k int) bool { return truth[p][k] }
+		seqCut, seqOK := PossiblyTruth(d, holds)
+		for _, workers := range []int{2, 3, 8} {
+			parCut, parOK := PossiblyTruthPar(d, holds, forcePar(workers))
+			if parOK != seqOK {
+				return false
+			}
+			if seqOK && !parCut.Equal(seqCut) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DefinitelyTruthPar computes exactly the sequential result —
+// same verdict and the same witness interval set.
+func TestDefinitelyParMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(6), r.Intn(60)))
+		truth := deposet.RandomTruth(r, d, 0.3+r.Float64()*0.5)
+		holds := func(p, k int) bool { return truth[p][k] }
+		seqIvs, seqOK := DefinitelyTruth(d, holds)
+		for _, workers := range []int{2, 3, 8} {
+			parIvs, parOK := DefinitelyTruthPar(d, holds, forcePar(workers))
+			if parOK != seqOK {
+				return false
+			}
+			if !seqOK {
+				continue
+			}
+			if len(parIvs) != len(seqIvs) {
+				return false
+			}
+			for i := range seqIvs {
+				if parIvs[i] != seqIvs[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllViolationsPar enumerates exactly the violation set of the
+// sequential lattice walk (orders differ: BFS discovery vs sorted
+// level-synchronous, so compare as sets).
+func TestAllViolationsParMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(4), r.Intn(16)))
+		dj := predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.6))
+		b := dj.Expr()
+		seq := AllViolations(d, b)
+		want := make(map[string]bool, len(seq))
+		for _, g := range seq {
+			want[g.Key()] = true
+		}
+		for _, workers := range []int{2, 5} {
+			got := AllViolationsPar(d, b, forcePar(workers))
+			if len(got) != len(seq) {
+				return false
+			}
+			for _, g := range got {
+				if !want[g.Key()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// AllViolationsPar must produce the same (deterministic) order on
+// repeated runs, whatever the worker count.
+func TestAllViolationsParDeterministicOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	d := deposet.Random(r, deposet.DefaultGen(3, 14))
+	dj := predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.5))
+	b := dj.Expr()
+	var first []deposet.Cut
+	for trial := 0; trial < 5; trial++ {
+		for _, workers := range []int{2, 3, 4} {
+			got := AllViolationsPar(d, b, forcePar(workers))
+			if first == nil {
+				first = got
+				continue
+			}
+			if len(got) != len(first) {
+				t.Fatalf("length %d vs %d", len(got), len(first))
+			}
+			for i := range got {
+				if !got[i].Equal(first[i]) {
+					t.Fatalf("order differs at %d: %v vs %v", i, got[i], first[i])
+				}
+			}
+		}
+	}
+}
+
+// The cutoff fallback: below Cutoff the parallel entry points must take
+// the sequential path (observable via a holds function that would be
+// unsafe to call concurrently).
+func TestParCutoffFallsBackSequential(t *testing.T) {
+	d := deposet.Random(rand.New(rand.NewSource(3)), deposet.DefaultGen(4, 40))
+	calls := 0 // racy if ever called from >1 goroutine
+	holds := func(p, k int) bool { calls++; return true }
+	if _, ok := PossiblyTruthPar(d, holds, Par{Workers: 8}); !ok {
+		t.Fatal("constant-true not possible?")
+	}
+	if _, ok := DefinitelyTruthPar(d, holds, Par{Workers: 8}); !ok {
+		t.Fatal("constant-true not definite?")
+	}
+	if calls == 0 {
+		t.Fatal("holds never evaluated")
+	}
+}
+
+// The conjunctive entry points route through the parallel engine; on a
+// trace above the cutoff they must agree with the forced-sequential
+// truth functions.
+func TestConjunctiveAutoParallelLargeTrace(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	d := deposet.Random(r, deposet.DefaultGen(8, 3*DefaultParCutoff))
+	truth := deposet.RandomTruth(r, d, 0.05)
+	cj := conjFromTruth(truth)
+	wantCut, wantOK := PossiblyTruth(d, func(p, k int) bool { return truth[p][k] })
+	gotCut, gotOK := PossiblyConjunctive(d, cj)
+	if gotOK != wantOK || (wantOK && !gotCut.Equal(wantCut)) {
+		t.Fatalf("possibly: got %v,%v want %v,%v", gotCut, gotOK, wantCut, wantOK)
+	}
+	truth2 := deposet.RandomTruth(r, d, 0.6)
+	cj2 := conjFromTruth(truth2)
+	wantIvs, wantOK2 := DefinitelyTruth(d, func(p, k int) bool { return truth2[p][k] })
+	gotIvs, gotOK2 := DefinitelyConjunctive(d, cj2)
+	if gotOK2 != wantOK2 {
+		t.Fatalf("definitely: got %v want %v", gotOK2, wantOK2)
+	}
+	if wantOK2 {
+		for i := range wantIvs {
+			if gotIvs[i] != wantIvs[i] {
+				t.Fatalf("definitely witness differs at %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// TestBaselineJSONShape: the committed BENCH_baseline.json is produced
+// by BaselineJSON; lock in its schema so the artifact stays parseable.
+func TestBaselineJSONShape(t *testing.T) {
+	doc, err := BaselineJSON(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(doc, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != 1 || b.GoVersion == "" || b.NumCPU < 1 {
+		t.Fatalf("bad header: %+v", b)
+	}
+	want := map[string]bool{
+		"deposet-build/clocks": false, "detect-possibly": false,
+		"detect-definitely": false, "offline-control n=32 p=128": false,
+		"batch-detect": false, "batch-control": false,
+	}
+	for _, m := range b.Results {
+		if _, ok := want[m.Name]; !ok {
+			t.Fatalf("unexpected workload %q", m.Name)
+		}
+		want[m.Name] = true
+		for _, w := range ParWorkers {
+			if m.NsPerOp[fmt.Sprint(w)] <= 0 {
+				t.Fatalf("%s: no timing for %d workers", m.Name, w)
+			}
+		}
+		if m.Speedup4 <= 0 {
+			t.Fatalf("%s: speedup4 = %v", m.Name, m.Speedup4)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("workload %q missing from baseline", name)
+		}
+	}
+}

@@ -108,10 +108,11 @@ func All(seed int64) []*Table {
 	return []*Table{
 		E1(seed), E2(seed), E3(seed), E4(seed),
 		E5(seed), E6(seed), E7(), E8(seed), E9(seed),
+		E10(seed),
 	}
 }
 
-// ByID returns the experiment with the given id (e1..e8), or nil.
+// ByID returns the experiment with the given id (e1..e10), or nil.
 func ByID(id string, seed int64) *Table {
 	switch strings.ToLower(id) {
 	case "e1":
@@ -132,6 +133,8 @@ func ByID(id string, seed int64) *Table {
 		return E8(seed)
 	case "e9":
 		return E9(seed)
+	case "e10":
+		return E10(seed)
 	}
 	return nil
 }

@@ -10,8 +10,8 @@ import (
 // checks the structural invariants of the rendered tables.
 func TestAllExperimentsRun(t *testing.T) {
 	tables := All(7)
-	if len(tables) != 9 {
-		t.Fatalf("experiments = %d, want 9", len(tables))
+	if len(tables) != 10 {
+		t.Fatalf("experiments = %d, want 10", len(tables))
 	}
 	for _, tb := range tables {
 		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
@@ -33,7 +33,7 @@ func TestAllExperimentsRun(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	for _, id := range []string{"e1", "E3", "e7", "e9"} {
+	for _, id := range []string{"e1", "E3", "e7", "e9", "e10", "E10"} {
 		if ByID(id, 3) == nil {
 			t.Errorf("ByID(%q) = nil", id)
 		}

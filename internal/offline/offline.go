@@ -70,6 +70,13 @@ type Options struct {
 	// paper's §5 Evaluation argues for the concurrency-preserving
 	// default.
 	PreferLate bool
+	// Par configures the parallel engine for the per-process
+	// false-interval extraction and the infeasibility (Lemma 2) check.
+	// The zero value is the transparent default: GOMAXPROCS workers on
+	// large computations, sequential below the cutoff. The chain search
+	// itself stays sequential — it is a backtracking construction over
+	// one shared frontier.
+	Par detect.Par
 }
 
 // chain is the under-construction control strategy: a chain of true
@@ -126,10 +133,7 @@ func Control(d *deposet.Deposet, dj *predicate.Disjunction, opts Options) (*Resu
 		minEntry: make([]int, n),
 		holder:   -1,
 	}
-	for p := 0; p < n; p++ {
-		p := p
-		c.ivs[p] = d.FalseIntervals(p, func(k int) bool { return dj.Holds(d, p, k) })
-	}
+	detect.TruthIntervalsInto(c.ivs, d, opts.Par, func(p, k int) bool { return !dj.Holds(d, p, k) })
 	res := &Result{}
 
 	// Initial holder: any process true at ⊥.
@@ -150,7 +154,7 @@ func Control(d *deposet.Deposet, dj *predicate.Disjunction, opts Options) (*Resu
 	}
 
 	if !c.search(map[string]bool{}, opts) {
-		return c.giveUp(d, dj, res)
+		return c.giveUp(d, dj, opts, res)
 	}
 	res.Relation = c.rel
 	res.Iterations = c.handoffs
@@ -382,8 +386,8 @@ func (c *chain) candidates(opts Options) []candidate {
 // giveUp resolves a stuck greedy: if the instance is genuinely
 // infeasible, report it with the overlap witness; otherwise fall back to
 // the exhaustive general controller (tracked in Result.Fallback).
-func (c *chain) giveUp(d *deposet.Deposet, dj *predicate.Disjunction, res *Result) (*Result, error) {
-	witness, definitely := detect.DefinitelyTruth(d, func(p, k int) bool { return !dj.Holds(d, p, k) })
+func (c *chain) giveUp(d *deposet.Deposet, dj *predicate.Disjunction, opts Options, res *Result) (*Result, error) {
+	witness, definitely := detect.DefinitelyTruthPar(d, func(p, k int) bool { return !dj.Holds(d, p, k) }, opts.Par)
 	if definitely {
 		res.Witness = witness
 		return res, ErrInfeasible

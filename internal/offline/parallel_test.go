@@ -1,0 +1,77 @@
+package offline
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predctl/internal/deposet"
+	"predctl/internal/detect"
+	"predctl/internal/predicate"
+)
+
+// Property: Control with the parallel engine forced on (interval
+// extraction and infeasibility check sharded across workers) produces
+// exactly the sequential result on random instances: same feasibility
+// verdict, same relation, same infeasibility witness.
+func TestControlParallelMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(5), r.Intn(40)))
+		dj := predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.5+r.Float64()*0.4))
+		seqRes, seqErr := Control(d, dj, Options{})
+		for _, workers := range []int{2, 4} {
+			parRes, parErr := Control(d, dj, Options{
+				Par: detect.Par{Workers: workers, Cutoff: 1},
+			})
+			if (seqErr == nil) != (parErr == nil) {
+				return false
+			}
+			if seqErr != nil {
+				if !errors.Is(seqErr, ErrInfeasible) || !errors.Is(parErr, ErrInfeasible) {
+					return false
+				}
+				if len(parRes.Witness) != len(seqRes.Witness) {
+					return false
+				}
+				for i := range seqRes.Witness {
+					if parRes.Witness[i] != seqRes.Witness[i] {
+						return false
+					}
+				}
+				continue
+			}
+			if parRes.Fallback != seqRes.Fallback || len(parRes.Relation) != len(seqRes.Relation) {
+				return false
+			}
+			for i := range seqRes.Relation {
+				if parRes.Relation[i] != seqRes.Relation[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A feasible instance solved with the parallel engine still passes the
+// full controlled-computation contract.
+func TestControlParallelContract(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		d := deposet.Random(r, deposet.DefaultGen(2+r.Intn(4), 10+r.Intn(40)))
+		dj := predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.8))
+		res, err := Control(d, dj, Options{Par: detect.Par{Workers: 4, Cutoff: 1}})
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyControlled(t, d, dj, res.Relation)
+	}
+}

@@ -1,0 +1,83 @@
+// Package par provides the worker-pool primitives behind the parallel
+// detection/control engine: fixed sharding of an index space across
+// GOMAXPROCS-bounded worker goroutines, with the degenerate one-worker
+// case running inline (no goroutines, no synchronization) so sequential
+// fallbacks cost nothing.
+//
+// The package is deliberately tiny: the parallel algorithms in
+// internal/deposet, internal/detect and internal/offline are all
+// round-synchronous (shard → barrier → shard …), so contiguous static
+// shards plus a WaitGroup barrier is the whole requirement. Work items
+// inside one round are uniform enough that work stealing would buy
+// nothing, and static shards keep every pass deterministic.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: requested if positive,
+// otherwise runtime.GOMAXPROCS(0); the result is clamped to [1, n] so a
+// loop over n items never spawns idle workers. n ≤ 0 yields 1.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Shard returns the half-open range [lo, hi) of items owned by worker w
+// out of `workers` over n items: contiguous, balanced to within one item.
+func Shard(w, workers, n int) (lo, hi int) {
+	q, r := n/workers, n%workers
+	lo = w*q + min(w, r)
+	hi = lo + q
+	if w < r {
+		hi++
+	}
+	return lo, hi
+}
+
+// ForShard partitions [0, n) into `workers` contiguous shards and calls
+// fn(w, lo, hi) for each on its own goroutine, returning after all
+// complete. With workers ≤ 1 (or n ≤ the shard width) it runs inline.
+// fn must confine its writes to data owned by its shard; the return
+// provides the barrier (happens-before edge) making those writes visible
+// to the caller.
+func ForShard(n, workers int, fn func(w, lo, hi int)) {
+	workers = Workers(workers, n)
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := Shard(w, workers, n)
+			fn(w, lo, hi)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across `workers` shards.
+func ForEach(n, workers int, fn func(i int)) {
+	ForShard(n, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Regression for the k.failure data race: two processes panicking in
+// the same run used to race a bare `failure == nil` check-then-set from
+// their goroutines' recover handlers. Under -race this test locks in
+// the mutex fix; in any mode it checks that exactly the first failure
+// (in virtual-time order) survives and the run still tears down cleanly.
+func TestTwoProcessesPanicSameRun(t *testing.T) {
+	k := New(Config{Procs: 3})
+	_, err := k.Run(
+		func(p *Proc) {
+			p.Work(1)
+			panic("first boom")
+		},
+		func(p *Proc) {
+			p.Work(2)
+			panic("second boom")
+		},
+		func(p *Proc) { p.Work(5) },
+	)
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(err.Error(), "first boom") {
+		t.Fatalf("err = %v, want the first panic", err)
+	}
+	if strings.Contains(err.Error(), "second boom") {
+		t.Fatalf("err = %v; second panic should have been dropped", err)
+	}
+}
+
+// Both processes panic at the same virtual instant — the closest the
+// kernel comes to concurrent recover handlers.
+func TestSimultaneousPanics(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		k := New(Config{Procs: 2})
+		_, err := k.Run(
+			func(p *Proc) { panic("boom A") },
+			func(p *Proc) { panic("boom B") },
+		)
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("err = %v", err)
+		}
+	}
+}
+
+func TestUniformDelayInvertedBoundsPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(r.(string), "sim: UniformDelay bounds inverted") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	UniformDelay(9, 3)
+}
+
+func TestUniformDelayEqualBoundsIsConstant(t *testing.T) {
+	d := UniformDelay(4, 4)
+	r := rand.New(rand.NewSource(1))
+	before := r.Int63()
+	r = rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if got := d(0, 1, r); got != 4 {
+			t.Fatalf("delay = %d, want 4", got)
+		}
+	}
+	// The degenerate delay must not consume randomness (ConstantDelay
+	// behavior): the stream is exactly where a fresh one starts.
+	if r.Int63() != before {
+		t.Fatal("equal-bounds UniformDelay consumed randomness")
+	}
+}
+
+func TestUniformDelayRange(t *testing.T) {
+	d := UniformDelay(2, 5)
+	r := rand.New(rand.NewSource(3))
+	seen := map[Time]bool{}
+	for i := 0; i < 200; i++ {
+		v := d(0, 1, r)
+		if v < 2 || v > 5 {
+			t.Fatalf("delay %d outside [2,5]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("saw %d distinct delays, want 4", len(seen))
+	}
+}
+
+// Regression for the weak per-process seed mixing: the old
+// Seed ^ (i+1)*0x9e3779b9 scheme produced correlated streams for nearby
+// run seeds (e.g. identical first draws for many (seed, proc) pairs).
+// Distinct (seed, proc) pairs must now yield pairwise distinct first
+// draws.
+func TestProcSeedDecorrelated(t *testing.T) {
+	seen := map[int64][2]int64{}
+	for seed := int64(0); seed < 16; seed++ {
+		for i := 0; i < 16; i++ {
+			first := rand.New(rand.NewSource(procSeed(seed, i))).Int63()
+			if prev, dup := seen[first]; dup {
+				t.Fatalf("(seed=%d, proc=%d) and (seed=%d, proc=%d) share first draw %d",
+					seed, i, prev[0], prev[1], first)
+			}
+			seen[first] = [2]int64{seed, int64(i)}
+		}
+	}
+	// The old scheme demonstrably collided on this grid: proc i of seed 0
+	// and proc i of seed 2*0x9e3779b9... more directly, seeds that differ
+	// only in bits the multiply never reaches gave identical sources.
+	// Spot-check the documented failure shape: old(s, i) == old(s', i)
+	// for s ≠ s' never happens (XOR is injective in s), but
+	// old(s, i) == old(s', j) for (s, i) ≠ (s', j) did. New mixing keeps
+	// the whole grid distinct, which is what the map above asserts.
+}
+
+// The per-process streams of a single run must also disagree with each
+// other from the first draw (the old mixing made procs of one run
+// distinct but structured; keep a direct guard).
+func TestProcStreamsDistinctWithinRun(t *testing.T) {
+	k := New(Config{Procs: 8, Seed: 0})
+	firsts := map[int64]bool{}
+	for _, p := range k.procs {
+		v := p.rng.Int63()
+		if firsts[v] {
+			t.Fatalf("two processes share first draw %d", v)
+		}
+		firsts[v] = true
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime/debug"
+	"sync"
 
 	"predctl/internal/deposet"
 )
@@ -34,8 +35,18 @@ func ConstantDelay(t Time) DelayFn {
 	return func(_, _ int, _ *rand.Rand) Time { return t }
 }
 
-// UniformDelay returns a DelayFn uniform over [lo, hi].
+// UniformDelay returns a DelayFn uniform over [lo, hi]. Bounds are
+// validated up front: inverted bounds (hi < lo) panic immediately with a
+// clear message instead of surfacing later as an opaque rand.Int63n
+// failure on the first send, and hi == lo degenerates cleanly to
+// ConstantDelay(lo) without consuming randomness.
 func UniformDelay(lo, hi Time) DelayFn {
+	if hi < lo {
+		panic(fmt.Sprintf("sim: UniformDelay bounds inverted: lo=%d > hi=%d", lo, hi))
+	}
+	if hi == lo {
+		return ConstantDelay(lo)
+	}
 	return func(_, _ int, r *rand.Rand) Time { return lo + Time(r.Int63n(int64(hi-lo+1))) }
 }
 
@@ -125,9 +136,29 @@ type Kernel struct {
 	builder   *deposet.Builder
 	times     [][]Time
 	yields    chan int // proc id announcing it yielded (or finished)
-	failure   error    // panic captured from a process
-	cancelled bool     // tear-down: blocked processes unwind via cancelPanic
+	failMu    sync.Mutex
+	failure   error // first panic captured from a process; guarded by failMu
+	cancelled bool  // tear-down: blocked processes unwind via cancelPanic
 	lastArr   map[[2]int]Time
+}
+
+// setFailure records the first process failure; later ones are dropped.
+// Panics are recovered on process goroutines, so two processes failing
+// in the same run write concurrently — the mutex keeps the
+// check-then-set atomic (a bare failure == nil test would race).
+func (k *Kernel) setFailure(err error) {
+	k.failMu.Lock()
+	if k.failure == nil {
+		k.failure = err
+	}
+	k.failMu.Unlock()
+}
+
+// takeFailure reads the recorded failure under the lock.
+func (k *Kernel) takeFailure() error {
+	k.failMu.Lock()
+	defer k.failMu.Unlock()
+	return k.failure
 }
 
 // cancelPanic unwinds a process goroutine that is still blocked when the
@@ -180,10 +211,24 @@ func New(cfg Config) *Kernel {
 			k:      k,
 			id:     i,
 			resume: make(chan Time),
-			rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(i+1)*0x9e3779b9)),
+			rng:    rand.New(rand.NewSource(procSeed(cfg.Seed, i))),
 		})
 	}
 	return k
+}
+
+// procSeed derives process i's RNG seed from the run seed by a
+// splitmix64 step over (Seed, i). The previous scheme — Seed XOR a
+// multiple of a 32-bit constant — barely mixed: nearby run seeds moved
+// only low bits, so seeds s and s^1 gave several processes correlated
+// (sometimes identical) streams. Splitmix64's finalizer avalanches every
+// input bit across the whole output, so distinct (seed, proc) pairs get
+// decorrelated streams.
+func procSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9e3779b97f4a7c15 // golden-ratio increment
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Run executes the process bodies to completion and returns the trace
@@ -200,8 +245,8 @@ func (k *Kernel) Run(bodies ...func(*Proc)) (*Trace, error) {
 		go func() {
 			defer func() {
 				if r := recover(); r != nil {
-					if _, isCancel := r.(cancelPanic); !isCancel && k.failure == nil {
-						k.failure = fmt.Errorf("sim: process %d panicked: %v\n%s", p.id, r, debug.Stack())
+					if _, isCancel := r.(cancelPanic); !isCancel {
+						k.setFailure(fmt.Errorf("sim: process %d panicked: %v\n%s", p.id, r, debug.Stack()))
 					}
 				}
 				p.status = done
@@ -245,8 +290,8 @@ func (k *Kernel) Run(bodies ...func(*Proc)) (*Trace, error) {
 			<-k.yields
 		}
 	}
-	if k.failure != nil {
-		return nil, k.failure
+	if err := k.takeFailure(); err != nil {
+		return nil, err
 	}
 	if len(blocked) > 0 {
 		return nil, ErrDeadlock{Blocked: blocked}

@@ -147,9 +147,12 @@ func Definitely(d *Computation, q *Conjunction) ([]Interval, bool) {
 }
 
 // Violations lists every consistent global state violating b
-// (exponential; for small computations under study).
+// (exponential; for small computations under study). Computations above
+// the parallel-engine cutoff are enumerated level-synchronously across
+// GOMAXPROCS workers, in deterministic (depth, lexicographic) order;
+// smaller ones keep the sequential lattice walk.
 func Violations(d *Computation, b Predicate) []Cut {
-	return detect.AllViolations(d, b)
+	return detect.AllViolationsPar(d, b, detect.Par{})
 }
 
 // SGSD searches for a global sequence satisfying b at every state
