@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench baseline
+.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline
 
 all: check
 
@@ -25,6 +25,20 @@ check: build vet race
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
+# Allocation gate: run the allocs-per-run pin tests, then re-measure the
+# memory sweep and diff it against the committed BENCH_memory.json
+# (fails on allocs/op or bytes/op growth beyond slack; see
+# internal/expt/mem.go for the tolerances).
+bench-mem:
+	$(GO) test -run 'AllocFree|AllocBound' ./internal/deposet ./internal/detect
+	$(GO) run ./cmd/pcbench -compare BENCH_memory.json
+
 # Regenerate the committed parallel-engine baseline (internal/expt E10).
 baseline:
 	$(GO) run ./cmd/pcbench -baseline BENCH_baseline.json
+
+# Regenerate the committed allocation baseline. -pre embeds an earlier
+# sweep (measured on the pre-optimization tree) so the JSON records the
+# reduction; omit it to just re-measure.
+bench-mem-baseline:
+	$(GO) run ./cmd/pcbench -membaseline BENCH_memory.json

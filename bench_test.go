@@ -93,6 +93,7 @@ func benchOffline(b *testing.B, run func(*deposet.Deposet, *predicate.Disjunctio
 }
 
 func BenchmarkE2OfflineChain(b *testing.B) {
+	b.ReportAllocs()
 	benchOffline(b, func(d *deposet.Deposet, dj *predicate.Disjunction) (*offline.Result, error) {
 		return offline.Control(d, dj, offline.Options{})
 	})
@@ -250,6 +251,7 @@ func BenchmarkE8ControlCNF(b *testing.B) {
 // `pcbench -baseline` (see internal/expt/e10.go).
 
 func BenchmarkE10BuildParallel(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(10))
 	bld := deposet.RandomBuilder(r, deposet.DefaultGen(32, 16000))
 	b.ResetTimer()
@@ -261,6 +263,7 @@ func BenchmarkE10BuildParallel(b *testing.B) {
 }
 
 func BenchmarkE10PossiblyPar(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(10))
 	d := deposet.Random(r, deposet.DefaultGen(32, 16000))
 	truth := deposet.RandomTruth(r, d, 0.05)
@@ -271,6 +274,7 @@ func BenchmarkE10PossiblyPar(b *testing.B) {
 }
 
 func BenchmarkE10DefinitelyPar(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(10))
 	d := deposet.Random(r, deposet.DefaultGen(32, 16000))
 	truth := deposet.RandomTruth(r, d, 0.6)
@@ -281,6 +285,7 @@ func BenchmarkE10DefinitelyPar(b *testing.B) {
 }
 
 func BenchmarkE10ViolationsPar(b *testing.B) {
+	b.ReportAllocs()
 	// Small lattice (33³ cuts); Cutoff 1 so the level-synchronous search
 	// still shards at whatever GOMAXPROCS the -cpu flag sets.
 	d, dj := e2Workload(3, 8)
@@ -313,10 +318,11 @@ func BenchmarkE10ControlBatch(b *testing.B) {
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkVClockMerge(b *testing.B) {
+	b.ReportAllocs()
 	v := vclock.New(64)
 	w := vclock.New(64)
 	for i := range w {
-		w[i] = i
+		w[i] = int32(i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -333,6 +339,7 @@ func BenchmarkDeposetBuild(b *testing.B) {
 }
 
 func BenchmarkDeposetHB(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(3))
 	d := deposet.Random(r, deposet.DefaultGen(8, 800))
 	s := deposet.StateID{P: 0, K: d.Len(0) / 2}
@@ -344,6 +351,7 @@ func BenchmarkDeposetHB(b *testing.B) {
 }
 
 func BenchmarkDetectPossibly(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(5))
 	d := deposet.Random(r, deposet.DefaultGen(16, 3200))
 	truth := deposet.RandomTruth(r, d, 0.1)
@@ -354,6 +362,7 @@ func BenchmarkDetectPossibly(b *testing.B) {
 }
 
 func BenchmarkDetectDefinitely(b *testing.B) {
+	b.ReportAllocs()
 	r := rand.New(rand.NewSource(5))
 	d := deposet.Random(r, deposet.DefaultGen(16, 3200))
 	truth := deposet.RandomTruth(r, d, 0.3)

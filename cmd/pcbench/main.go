@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	pcbench                              # run every experiment
-//	pcbench e4 e6                        # run selected experiments
-//	pcbench -seed 42                     # change the workload seed
-//	pcbench -baseline BENCH_baseline.json # record the parallel-engine baseline
+//	pcbench                                # run every experiment
+//	pcbench e4 e6                          # run selected experiments
+//	pcbench -seed 42                       # change the workload seed
+//	pcbench -baseline BENCH_baseline.json  # record the parallel-engine baseline
+//	pcbench -membaseline BENCH_memory.json # record the allocation baseline
+//	pcbench -membaseline X -pre OLD.json   # ... embedding OLD as the pre-change rows
+//	pcbench -compare BENCH_memory.json     # diff a fresh sweep against the file;
+//	                                       # exits 1 on allocs/op or ns/op regression
+//	pcbench -compare OLD.json NEW.json     # diff two recorded sweeps
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,21 +23,70 @@ import (
 	"predctl/internal/expt"
 )
 
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+	os.Exit(1)
+}
+
+func readMemBaseline(path string) *expt.MemBaseline {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var b expt.MemBaseline
+	if err := json.Unmarshal(doc, &b); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return &b
+}
+
 func main() {
 	seed := flag.Int64("seed", 1998, "workload seed")
 	baseline := flag.String("baseline", "", "write the parallel-engine baseline (E10 sweep) as JSON to this file and exit")
+	membaseline := flag.String("membaseline", "", "write the allocation baseline (allocs/op sweep) as JSON to this file and exit")
+	pre := flag.String("pre", "", "with -membaseline: embed this earlier sweep as the pre-change rows and record reductions")
+	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
 	flag.Parse()
 	if *baseline != "" {
 		doc, err := expt.BaselineJSON(*seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := os.WriteFile(*baseline, doc, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *baseline)
+		return
+	}
+	if *membaseline != "" {
+		var prev *expt.MemBaseline
+		if *pre != "" {
+			prev = readMemBaseline(*pre)
+		}
+		doc, err := expt.MemoryJSON(*seed, prev)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*membaseline, doc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *membaseline)
+		return
+	}
+	if *compare != "" {
+		old := readMemBaseline(*compare)
+		var cur *expt.MemBaseline
+		if rest := flag.Args(); len(rest) > 0 {
+			cur = readMemBaseline(rest[0])
+		} else {
+			cur = expt.MeasureMemory(*seed)
+		}
+		report, err := expt.CompareMem(old, cur)
+		fmt.Print(report)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("no regression")
 		return
 	}
 	ids := flag.Args()

@@ -47,7 +47,7 @@ var ErrInterference = errors.New("control: relation interferes with causal prece
 type Extended struct {
 	d     *deposet.Deposet
 	edges Relation
-	vc    [][]vclock.VC // extended clocks, same convention as deposet
+	vc    *vclock.Arena // extended clocks, flat arena, same convention as deposet
 }
 
 // Extend validates rel against d and computes extended causality. It
@@ -76,15 +76,20 @@ func Extend(d *deposet.Deposet, rel Relation) (*Extended, error) {
 	}
 
 	x := &Extended{d: d, edges: append(Relation(nil), rel...)}
-	x.vc = make([][]vclock.VC, n)
-	done := make([]int, n)
+	lens := make([]int, n)
 	remaining := 0
 	for p := 0; p < n; p++ {
-		x.vc[p] = make([]vclock.VC, d.Len(p))
-		v := vclock.New(n)
-		v[p] = 0
-		x.vc[p][0] = v
+		lens[p] = d.Len(p)
 		remaining += d.Len(p) - 1
+	}
+	x.vc = vclock.NewArena(lens)
+	done := make([]int, n)
+	for p := 0; p < n; p++ {
+		row := x.vc.Row(p, 0)
+		for i := range row {
+			row[i] = vclock.None
+		}
+		row[p] = 0
 	}
 	msgs := d.Messages()
 	for remaining > 0 {
@@ -93,21 +98,13 @@ func Extend(d *deposet.Deposet, rel Relation) (*Extended, error) {
 		states:
 			for done[p] < d.Len(p)-1 {
 				e := done[p] + 1
-				v := x.vc[p][e-1].Clone()
-				if mi := d.RecvAt(p, e); mi >= 0 {
-					m := msgs[mi]
+				mi := d.RecvAt(p, e)
+				if mi >= 0 {
 					// Receiving implies the send event happened, i.e. the
 					// sender reached state SendEvent (exited SendEvent−1).
-					// Unlike in a plain deposet, the send event may carry
-					// extra dependencies here (a control edge can target
-					// its resulting state), so merge that state's full
-					// clock with the own-process component lowered.
-					if m.SendEvent > done[m.FromP] {
+					if msgs[mi].SendEvent > done[msgs[mi].FromP] {
 						break
 					}
-					w := x.vc[m.FromP][m.SendEvent].Clone()
-					w[m.FromP] = m.SendEvent - 1
-					v.Merge(w)
 				}
 				for _, from := range incoming[p][e] {
 					// The exit event of `from` is event from.K+1; its
@@ -116,13 +113,21 @@ func Extend(d *deposet.Deposet, rel Relation) (*Extended, error) {
 						break states
 					}
 				}
-				for _, from := range incoming[p][e] {
-					w := x.vc[from.P][from.K+1].Clone()
-					w[from.P] = from.K // v implies from exited, not from.K+1 passed
-					v.Merge(w)
+				v := x.vc.Row(p, e)
+				copy(v, x.vc.Row(p, e-1))
+				if mi >= 0 {
+					m := msgs[mi]
+					// Unlike in a plain deposet, the send event may carry
+					// extra dependencies here (a control edge can target
+					// its resulting state), so merge that state's full
+					// clock with the own-process component lowered.
+					v.MergeLowered(x.vc.Row(m.FromP, m.SendEvent), m.FromP, int32(m.SendEvent-1))
 				}
-				v[p] = e
-				x.vc[p][e] = v
+				for _, from := range incoming[p][e] {
+					// v implies from exited, not from.K+1 passed.
+					v.MergeLowered(x.vc.Row(from.P, from.K+1), from.P, int32(from.K))
+				}
+				v[p] = int32(e)
 				done[p] = e
 				remaining--
 				progress = true
@@ -149,15 +154,16 @@ var _ deposet.View = (*Extended)(nil)
 // Edges returns the control relation. Callers must not modify it.
 func (x *Extended) Edges() Relation { return x.edges }
 
-// Clock returns the extended vector clock of state s.
-func (x *Extended) Clock(s deposet.StateID) vclock.VC { return x.vc[s.P][s.K] }
+// Clock returns the extended vector clock of state s. The returned
+// slice aliases the clock arena; callers must not modify it.
+func (x *Extended) Clock(s deposet.StateID) vclock.VC { return x.vc.Row(s.P, s.K) }
 
 // HB reports s →C t under extended causality.
 func (x *Extended) HB(s, t deposet.StateID) bool {
 	if s.P == t.P {
 		return s.K < t.K
 	}
-	return x.vc[t.P][t.K][s.P] >= s.K
+	return x.vc.Component(t.P, t.K, s.P) >= int32(s.K)
 }
 
 // Concurrent reports s ∥ t under extended causality.
@@ -171,9 +177,9 @@ func (x *Extended) Concurrent(s, t deposet.StateID) bool {
 func (x *Extended) Consistent(g deposet.Cut) bool {
 	n := x.d.NumProcs()
 	for j := 0; j < n; j++ {
-		v := x.vc[j][g[j]]
+		v := x.vc.Row(j, g[j])
 		for i := 0; i < n; i++ {
-			if i != j && v[i] >= g[i] {
+			if i != j && int(v[i]) >= g[i] {
 				return false
 			}
 		}

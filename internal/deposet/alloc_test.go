@@ -1,0 +1,52 @@
+package deposet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The causality hot paths must stay allocation-free: HB is one arena
+// load and a compare, Clock is offset arithmetic returning an alias into
+// the flat clock arena. These pins fail if either ever grows a per-call
+// allocation (a clock clone, a boxed return, …).
+
+func TestHBAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := Random(r, DefaultGen(8, 400))
+	s := StateID{P: 0, K: d.Len(0) / 2}
+	u := StateID{P: 7, K: d.Len(7) - 1}
+	var sink bool
+	if n := testing.AllocsPerRun(100, func() {
+		sink = d.HB(s, u)
+		sink = d.HB(u, s)
+	}); n != 0 {
+		t.Errorf("HB allocates %.1f per run, want 0", n)
+	}
+	_ = sink
+}
+
+func TestClockAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := Random(r, DefaultGen(8, 400))
+	s := StateID{P: 3, K: d.Len(3) / 2}
+	var sink int32
+	if n := testing.AllocsPerRun(100, func() {
+		sink = d.Clock(s)[5]
+	}); n != 0 {
+		t.Errorf("Clock allocates %.1f per run, want 0", n)
+	}
+	_ = sink
+}
+
+func TestConsistentAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	d := Random(r, DefaultGen(8, 400))
+	g := d.TopCut()
+	var sink bool
+	if n := testing.AllocsPerRun(100, func() {
+		sink = d.Consistent(g)
+	}); n != 0 {
+		t.Errorf("Consistent allocates %.1f per run, want 0", n)
+	}
+	_ = sink
+}

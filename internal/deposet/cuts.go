@@ -86,9 +86,9 @@ func (d *Deposet) InRange(g Cut) bool {
 func (d *Deposet) Consistent(g Cut) bool {
 	n := d.NumProcs()
 	for j := 0; j < n; j++ {
-		v := d.vc[j][g[j]]
+		v := d.clocks.Row(j, g[j])
 		for i := 0; i < n; i++ {
-			if i != j && v[i] >= g[i] {
+			if i != j && int(v[i]) >= g[i] {
 				return false
 			}
 		}

@@ -68,18 +68,19 @@ type Deposet struct {
 	lens []int     // number of states per process
 	msgs []Message // all messages, in send order
 
-	// vc[p][k] is the vector clock of state (p,k): vc[p][k][q] is the
-	// largest j with (q,j) →= (p,k), or vclock.None.
-	vc [][]vclock.VC
+	// clocks is the flat clock arena: the vector clock of state (p,k) is
+	// the contiguous row clocks.Row(p, k), with clocks.Component(p, k, q)
+	// the largest j with (q,j) →= (p,k), or vclock.None.
+	clocks *vclock.Arena
 
 	// sendMsg[p][e] / recvMsg[p][e] give the message index for event e of
 	// process p (1-based; index 0 unused), or -1.
 	sendMsg [][]int
 	recvMsg [][]int
 
-	// vars[p][k] is the variable snapshot of state (p,k); nil when the
-	// computation carries no variables.
-	vars [][]map[string]int
+	// vars holds the interned, copy-on-write variable snapshots; nil when
+	// the computation carries no variables.
+	vars *varTable
 }
 
 // NumProcs returns the number of processes n.
@@ -108,8 +109,9 @@ func (d *Deposet) SendAt(p, e int) int { return d.sendMsg[p][e] }
 // e of process p, or -1.
 func (d *Deposet) RecvAt(p, e int) int { return d.recvMsg[p][e] }
 
-// Clock returns the vector clock of state s. The caller must not modify it.
-func (d *Deposet) Clock(s StateID) vclock.VC { return d.vc[s.P][s.K] }
+// Clock returns the vector clock of state s, aliasing the clock arena.
+// The caller must not modify it.
+func (d *Deposet) Clock(s StateID) vclock.VC { return d.clocks.Row(s.P, s.K) }
 
 // Bottom returns ⊥p, Top returns ⊤p.
 func (d *Deposet) Bottom(p int) StateID { return StateID{p, 0} }
@@ -120,12 +122,13 @@ func (d *Deposet) Top(p int) StateID    { return StateID{p, d.lens[p] - 1} }
 func (d *Deposet) IsBottom(s StateID) bool { return s.K == 0 }
 func (d *Deposet) IsTop(s StateID) bool    { return s.K == d.lens[s.P]-1 }
 
-// HB reports whether s causally precedes t (s → t, strict).
+// HB reports whether s causally precedes t (s → t, strict): a single
+// indexed load from the clock arena.
 func (d *Deposet) HB(s, t StateID) bool {
 	if s.P == t.P {
 		return s.K < t.K
 	}
-	return d.vc[t.P][t.K][s.P] >= s.K
+	return d.clocks.Component(t.P, t.K, s.P) >= int32(s.K)
 }
 
 // HBeq reports s → t or s == t.
@@ -139,11 +142,10 @@ func (d *Deposet) Concurrent(s, t StateID) bool {
 // Var returns the value of a state variable at s, if the computation
 // carries variables and the variable is set there.
 func (d *Deposet) Var(s StateID, name string) (int, bool) {
-	if d.vars == nil || d.vars[s.P] == nil {
+	if d.vars == nil {
 		return 0, false
 	}
-	v, ok := d.vars[s.P][s.K][name]
-	return v, ok
+	return d.vars.lookup(s.P, s.K, name)
 }
 
 // HasVars reports whether the computation carries state variables.
@@ -305,21 +307,7 @@ func (b *Builder) build(workers int) (*Deposet, error) {
 		return nil, err
 	}
 	if b.hasVars {
-		d.vars = make([][]map[string]int, b.n)
-		for p := 0; p < b.n; p++ {
-			d.vars[p] = make([]map[string]int, d.lens[p])
-			cur := make(map[string]int)
-			for k := 0; k < d.lens[p]; k++ {
-				for name, v := range b.lets[p][k] {
-					cur[name] = v
-				}
-				snap := make(map[string]int, len(cur))
-				for name, v := range cur {
-					snap[name] = v
-				}
-				d.vars[p][k] = snap
-			}
-		}
+		d.vars = varTableFromLets(b.lets, d.lens)
 	}
 	return d, nil
 }
@@ -337,10 +325,12 @@ func (b *Builder) MustBuild() *Deposet {
 // cyclic (the structure is not a valid deposet).
 var ErrCyclic = errors.New("deposet: causal precedence is cyclic")
 
-// computeClocks assigns vc[p][k] for every state, processing events in a
-// causality-respecting order; it fails with ErrCyclic if none exists.
-// computeClocksParallel (parclock.go) is the sharded variant for large
-// computations.
+// computeClocks assigns the clock row of every state, processing events
+// in a causality-respecting order; it fails with ErrCyclic if none
+// exists. Rows are written in place in the arena — copy the predecessor
+// row, merge the message clock — so the whole construction performs no
+// per-event allocation. computeClocksParallel (parclock.go) is the
+// sharded variant for large computations.
 func (d *Deposet) computeClocks() error {
 	n := len(d.lens)
 	remaining := d.initClockRows()
@@ -350,18 +340,21 @@ func (d *Deposet) computeClocks() error {
 		for p := 0; p < n; p++ {
 			for done[p] < d.lens[p]-1 {
 				e := done[p] + 1 // next event
-				v := d.vc[p][e-1].Clone()
-				if mi := d.recvMsg[p][e]; mi >= 0 {
-					m := d.msgs[mi]
+				mi := d.recvMsg[p][e]
+				if mi >= 0 {
 					// The message carries the clock of the state before
 					// its send event: s = (FromP, SendEvent-1).
-					if m.SendEvent-1 > done[m.FromP] {
+					if m := d.msgs[mi]; m.SendEvent-1 > done[m.FromP] {
 						break // sender state not clocked yet
 					}
-					v.Merge(d.vc[m.FromP][m.SendEvent-1])
 				}
-				v[p] = e
-				d.vc[p][e] = v
+				row := d.clocks.Row(p, e)
+				copy(row, d.clocks.Row(p, e-1))
+				if mi >= 0 {
+					m := d.msgs[mi]
+					row.Merge(d.clocks.Row(m.FromP, m.SendEvent-1))
+				}
+				row[p] = int32(e)
 				done[p] = e
 				remaining--
 				progress = true

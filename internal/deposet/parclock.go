@@ -34,15 +34,18 @@ func (b *Builder) BuildParallel(workers int) (*Deposet, error) {
 	return b.build(par.Workers(workers, b.n))
 }
 
-// initClockRows allocates the clock table and seeds every ⊥p.
+// initClockRows allocates the flat clock arena and seeds every ⊥p. Rows
+// other than ⊥ are written (predecessor copy + merge) before any read,
+// so only the ⊥ rows need the None fill.
 func (d *Deposet) initClockRows() (remaining int) {
 	n := len(d.lens)
-	d.vc = make([][]vclock.VC, n)
+	d.clocks = vclock.NewArena(d.lens)
 	for p := 0; p < n; p++ {
-		d.vc[p] = make([]vclock.VC, d.lens[p])
-		v := vclock.New(n)
-		v[p] = 0
-		d.vc[p][0] = v
+		row := d.clocks.Row(p, 0)
+		for i := range row {
+			row[i] = vclock.None
+		}
+		row[p] = 0
 		remaining += d.lens[p] - 1
 	}
 	return remaining
@@ -58,9 +61,9 @@ func (d *Deposet) initClockRows() (remaining int) {
 // receive, the sender's pre-send state (q, SendEvent−1) — readable only
 // if q's progress *at the last barrier* (the snap array) covers it, or
 // q == p (a self-message's send always precedes its receive locally).
-// Writes stay inside the shard (vc rows and done entries of owned
-// processes); cross-shard reads touch only states published before the
-// last barrier, so a pass never races with itself. A pass that advances
+// Writes stay inside the shard (arena clock rows and done entries of
+// owned processes); cross-shard reads touch only states published before
+// the last barrier, so a pass never races with itself. A pass that advances
 // nothing with states remaining means causal precedence is cyclic,
 // exactly as in the sequential fixpoint.
 //
@@ -70,26 +73,35 @@ func (d *Deposet) initClockRows() (remaining int) {
 func (d *Deposet) computeClocksParallel(workers int) error {
 	n := len(d.lens)
 	remaining := d.initClockRows()
-	done := make([]int, n)           // done[p]: highest state index of p clocked
-	snap := make([]int, n)           // done as of the previous barrier
-	advanced := make([]int, workers) // per-worker advance counts (owned slots)
+	loop := par.NewLoop(n, workers)
+	defer loop.Close()
+	done := make([]int, n)                  // done[p]: highest state index of p clocked
+	snap := make([]int, n)                  // done as of the previous barrier
+	advanced := make([]int, loop.Workers()) // per-worker advance counts (owned slots)
 	for remaining > 0 {
 		copy(snap, done)
-		par.ForShard(n, workers, func(w, lo, hi int) {
+		loop.Round(n, func(w, lo, hi int) {
 			count := 0
 			for p := lo; p < hi; p++ {
 				for done[p] < d.lens[p]-1 {
 					e := done[p] + 1
-					v := d.vc[p][e-1].Clone()
-					if mi := d.recvMsg[p][e]; mi >= 0 {
+					mi := d.recvMsg[p][e]
+					if mi >= 0 {
 						m := d.msgs[mi]
 						if m.SendEvent-1 > snap[m.FromP] && m.FromP != p {
 							break // sender state not published yet
 						}
-						v.Merge(d.vc[m.FromP][m.SendEvent-1])
 					}
-					v[p] = e
-					d.vc[p][e] = v
+					// In-place write: rows of owned processes are disjoint
+					// arena ranges, and the cross-shard merge source was
+					// published before the last barrier.
+					row := d.clocks.Row(p, e)
+					copy(row, d.clocks.Row(p, e-1))
+					if mi >= 0 {
+						m := d.msgs[mi]
+						row.Merge(d.clocks.Row(m.FromP, m.SendEvent-1))
+					}
+					row[p] = int32(e)
 					done[p] = e
 					count++
 				}

@@ -17,7 +17,7 @@ func clocksEqual(a, b *Deposet) bool {
 			return false
 		}
 		for k := 0; k < a.Len(p); k++ {
-			va, vb := a.vc[p][k], b.vc[p][k]
+			va, vb := a.clocks.Row(p, k), b.clocks.Row(p, k)
 			for q := range va {
 				if va[q] != vb[q] {
 					return false

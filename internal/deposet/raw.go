@@ -12,14 +12,18 @@ type Raw struct {
 	Vars [][]map[string]int
 }
 
-// Raw returns the explicit representation of d. Maps are shared, not
-// copied; treat the result as read-only.
+// Raw returns the explicit representation of d. The variable maps are
+// materialized from the interned copy-on-write snapshots (states that
+// share a snapshot share a map object); treat the result as read-only.
 func (d *Deposet) Raw() Raw {
-	return Raw{
+	r := Raw{
 		Lens: append([]int(nil), d.lens...),
 		Msgs: append([]Message(nil), d.msgs...),
-		Vars: d.vars,
 	}
+	if d.vars != nil {
+		r.Vars = d.vars.maps(d.lens)
+	}
+	return r
 }
 
 // FromRaw validates r and builds a deposet from it. Unlike the Builder,
@@ -94,7 +98,7 @@ func FromRaw(r Raw) (*Deposet, error) {
 					p, len(r.Vars[p]), r.Lens[p])
 			}
 		}
-		d.vars = r.Vars
+		d.vars = varTableFromMaps(r.Vars, r.Lens)
 	}
 	return d, nil
 }

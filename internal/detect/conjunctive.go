@@ -91,7 +91,11 @@ func DefinitelyGeneral(d *deposet.Deposet, b predicate.Expr) bool {
 // AllViolations returns every consistent global state where b is false —
 // the debugging view "where can the bug occur?" (paper §7 finds the cuts
 // G and H this way). Exponential; intended for small traces under study.
+// The predicate is compiled to packed per-state truth bits up front
+// (one LocalFn call per state), so the per-cut evaluations — typically
+// far more numerous than states — are bit tests.
 func AllViolations(d *deposet.Deposet, b predicate.Expr) []deposet.Cut {
+	b = predicate.Compile(b, d)
 	var out []deposet.Cut
 	d.ForEachConsistentCut(func(g deposet.Cut) bool {
 		if !b.Eval(d, g) {

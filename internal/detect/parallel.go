@@ -2,6 +2,7 @@ package detect
 
 import (
 	"sort"
+	"sync"
 
 	"predctl/internal/deposet"
 	"predctl/internal/par"
@@ -48,6 +49,44 @@ func viewStates(v deposet.View) int {
 	return total
 }
 
+// roundScratch is the pooled per-call working state of the sharded
+// frontier scans: a candidate cursor per process, a flag per process,
+// and a per-worker status slot. Detection calls borrow one, so repeated
+// detections allocate only their result.
+type roundScratch struct {
+	cur  []int
+	flag []bool
+	dead []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(roundScratch) }}
+
+// getScratch returns a scratch with cur/flag sized (and zeroed) for n
+// processes and dead sized for the worker count.
+func getScratch(n, workers int) *roundScratch {
+	s := scratchPool.Get().(*roundScratch)
+	if cap(s.cur) < n {
+		s.cur = make([]int, n)
+		s.flag = make([]bool, n)
+	}
+	s.cur = s.cur[:n]
+	s.flag = s.flag[:n]
+	for i := range s.cur {
+		s.cur[i] = 0
+		s.flag[i] = false
+	}
+	if cap(s.dead) < workers {
+		s.dead = make([]bool, workers)
+	}
+	s.dead = s.dead[:workers]
+	for i := range s.dead {
+		s.dead[i] = false
+	}
+	return s
+}
+
+func putScratch(s *roundScratch) { scratchPool.Put(s) }
+
 // PossiblyTruthPar is PossiblyTruth with the candidate-elimination scan
 // sharded across workers.
 //
@@ -67,15 +106,18 @@ func PossiblyTruthPar(v deposet.View, holds HoldsFn, opts Par) (deposet.Cut, boo
 	if workers == 1 {
 		return PossiblyTruth(v, holds)
 	}
-	cur := make(deposet.Cut, n)
+	loop := par.NewLoop(n, workers)
+	defer loop.Close()
+	s := getScratch(n, loop.Workers())
+	defer putScratch(s)
+	cur, flag, dead := s.cur, s.flag, s.dead
 	seek := func(p int) bool {
 		for cur[p] < v.Len(p) && !holds(p, cur[p]) {
 			cur[p]++
 		}
 		return cur[p] < v.Len(p)
 	}
-	dead := make([]bool, workers) // per-shard "some process exhausted"
-	par.ForShard(n, workers, func(w, lo, hi int) {
+	loop.Round(n, func(w, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			if !seek(p) {
 				dead[w] = true
@@ -88,9 +130,8 @@ func PossiblyTruthPar(v deposet.View, holds HoldsFn, opts Par) (deposet.Cut, boo
 			return nil, false
 		}
 	}
-	flag := make([]bool, n)
 	for {
-		par.ForShard(n, workers, func(_, lo, hi int) {
+		loop.Round(n, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				si := deposet.StateID{P: i, K: cur[i]}
 				flag[i] = false
@@ -113,7 +154,7 @@ func PossiblyTruthPar(v deposet.View, holds HoldsFn, opts Par) (deposet.Cut, boo
 			}
 		}
 		if !advanced {
-			return cur, true
+			return append(deposet.Cut(nil), cur...), true
 		}
 	}
 }
@@ -134,8 +175,10 @@ func DefinitelyTruthPar(v deposet.View, holds HoldsFn, opts Par) ([]deposet.Inte
 	if workers == 1 {
 		return DefinitelyTruth(v, holds)
 	}
+	loop := par.NewLoop(n, workers)
+	defer loop.Close()
 	ivs := make([][]deposet.Interval, n)
-	par.ForEach(n, workers, func(p int) {
+	loop.Each(n, func(p int) {
 		ivs[p] = truthIntervals(v, p, holds)
 	})
 	for p := 0; p < n; p++ {
@@ -143,10 +186,11 @@ func DefinitelyTruthPar(v deposet.View, holds HoldsFn, opts Par) ([]deposet.Inte
 			return nil, false
 		}
 	}
-	cur := make([]int, n)
-	flag := make([]bool, n)
+	s := getScratch(n, loop.Workers())
+	defer putScratch(s)
+	cur, flag := s.cur, s.flag
 	for {
-		par.ForShard(n, workers, func(_, lo, hi int) {
+		loop.Round(n, func(_, lo, hi int) {
 			for j := lo; j < hi; j++ {
 				flag[j] = false
 				for i := 0; i < n; i++ {
@@ -185,7 +229,15 @@ func DefinitelyTruthPar(v deposet.View, holds HoldsFn, opts Par) ([]deposet.Inte
 func TruthIntervalsInto(dst [][]deposet.Interval, v deposet.View, opts Par, holds HoldsFn) {
 	n := v.NumProcs()
 	workers := opts.resolve(viewStates(v))
-	par.ForEach(n, workers, func(p int) {
+	if workers == 1 {
+		for p := 0; p < n; p++ {
+			dst[p] = truthIntervals(v, p, holds)
+		}
+		return
+	}
+	loop := par.NewLoop(n, workers)
+	defer loop.Close()
+	loop.Each(n, func(p int) {
 		dst[p] = truthIntervals(v, p, holds)
 	})
 }
@@ -197,22 +249,27 @@ func TruthIntervalsInto(dst [][]deposet.Interval, v deposet.View, opts Par, hold
 // evaluations run in parallel shards, with a deterministic (sorted)
 // merge between levels. The violation list therefore comes out in
 // (depth, lexicographic) order — a fixed order, though not the BFS
-// discovery order the sequential enumerator happens to produce.
+// discovery order the sequential enumerator happens to produce. The
+// predicate is compiled to packed per-state truth bits first, so the
+// per-cut evaluations inside the shards never call a LocalFn.
 func AllViolationsPar(d *deposet.Deposet, b predicate.Expr, opts Par) []deposet.Cut {
 	workers := opts.resolve(d.NumStates())
 	if workers == 1 {
 		return AllViolations(d, b)
 	}
+	b = predicate.Compile(b, d)
 	n := d.NumProcs()
+	loop := par.NewLoop(workers, workers)
+	defer loop.Close()
 	var out []deposet.Cut
 	level := []deposet.Cut{d.BottomCut()}
 	type shardResult struct {
 		violations []deposet.Cut
 		next       map[string]deposet.Cut
 	}
-	results := make([]shardResult, workers)
+	results := make([]shardResult, loop.Workers())
 	for len(level) > 0 {
-		par.ForShard(len(level), workers, func(w, lo, hi int) {
+		loop.Round(len(level), func(w, lo, hi int) {
 			res := shardResult{next: make(map[string]deposet.Cut)}
 			for x := lo; x < hi; x++ {
 				g := level[x]

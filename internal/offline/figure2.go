@@ -100,9 +100,12 @@ func newLoopState(d *deposet.Deposet, dj *predicate.Disjunction) *loopState {
 		cross2:   make([][]bool, n),
 		outCount: make([]int, n),
 	}
+	// One evaluation of each local per state, packed; the interval scans
+	// below read bits.
+	bt := dj.TruthTable(d)
 	for p := 0; p < n; p++ {
 		p := p
-		st.ivs[p] = d.FalseIntervals(p, func(k int) bool { return dj.Holds(d, p, k) })
+		st.ivs[p] = d.FalseIntervals(p, func(k int) bool { return bt.Holds(p, k) })
 		st.cross2[p] = make([]bool, n)
 	}
 	for p := 0; p < n; p++ {

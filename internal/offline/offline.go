@@ -84,7 +84,8 @@ type Options struct {
 type chain struct {
 	d   *deposet.Deposet
 	n   int
-	ivs [][]deposet.Interval // false-intervals per process
+	ivs [][]deposet.Interval  // false-intervals per process
+	ft  *predicate.TruthTable // falsity table: Holds(p,k) = ¬lp(p,k)
 
 	g        deposet.Cut // scheduled frontier (a consistent cut)
 	minEntry []int       // earliest state at which p may hold again
@@ -133,7 +134,11 @@ func Control(d *deposet.Deposet, dj *predicate.Disjunction, opts Options) (*Resu
 		minEntry: make([]int, n),
 		holder:   -1,
 	}
-	detect.TruthIntervalsInto(c.ivs, d, opts.Par, func(p, k int) bool { return !dj.Holds(d, p, k) })
+	// The locals are evaluated exactly once per state into a packed
+	// falsity table; interval extraction here and the infeasibility check
+	// in giveUp both read the bits instead of re-calling the closures.
+	c.ft = dj.TruthTable(d).Invert()
+	detect.TruthIntervalsInto(c.ivs, d, opts.Par, c.ft.Holds)
 	res := &Result{}
 
 	// Initial holder: any process true at ⊥.
@@ -153,7 +158,7 @@ func Control(d *deposet.Deposet, dj *predicate.Disjunction, opts Options) (*Resu
 		return res, ErrInfeasible
 	}
 
-	if !c.search(map[string]bool{}, opts) {
+	if !c.search(newMemo(), opts) {
 		return c.giveUp(d, dj, opts, res)
 	}
 	res.Relation = c.rel
@@ -202,19 +207,70 @@ func (c *chain) restore(s snapshot) {
 	c.handoffs = s.handoffs
 }
 
-// key identifies the search state for dead-state memoization.
-func (c *chain) key() string {
-	var b []byte
-	b = append(b, byte(c.holder), byte(c.hEnd))
-	for i := range c.g {
-		b = appendInt(b, c.g[i])
-		b = appendInt(b, c.minEntry[i])
-	}
-	return string(b)
+// memo is the dead-state set of the chain search. A search state is the
+// tuple (holder, hEnd, g, minEntry), encoded fixed-width (one uint32 per
+// component — no truncation, so distinct states never share an encoding)
+// and bucketed by a 64-bit FNV-style hash; buckets resolve hash
+// collisions by exact comparison. The scratch buffer is reused across
+// lookups, so a hit allocates nothing.
+type memo struct {
+	table map[uint64][]savedState
+	buf   []uint32
 }
 
-func appendInt(b []byte, v int) []byte {
-	return append(b, byte(v), byte(v>>8), byte(v>>16))
+// savedState is one encoded dead search state.
+type savedState []uint32
+
+func newMemo() *memo { return &memo{table: make(map[uint64][]savedState)} }
+
+// encode writes c's search state into the reusable scratch buffer.
+func (m *memo) encode(c *chain) []uint32 {
+	buf := m.buf[:0]
+	buf = append(buf, uint32(c.holder), uint32(c.hEnd))
+	for i := range c.g {
+		buf = append(buf, uint32(c.g[i]), uint32(c.minEntry[i]))
+	}
+	m.buf = buf
+	return buf
+}
+
+func hashState(s []uint32) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for _, v := range s {
+		h ^= uint64(v)
+		h *= 1099511628211 // FNV-1a prime
+	}
+	return h
+}
+
+func equalStates(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dead reports whether c's current search state is memoized as dead.
+func (m *memo) dead(c *chain) bool {
+	s := m.encode(c)
+	for _, prev := range m.table[hashState(s)] {
+		if equalStates(prev, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// markDead memoizes c's current search state as dead.
+func (m *memo) markDead(c *chain) {
+	s := m.encode(c)
+	h := hashState(s)
+	m.table[h] = append(m.table[h], append(savedState(nil), s...))
 }
 
 // apply performs the handoff to (h2, y): emit (or restart) the chain
@@ -232,8 +288,8 @@ func (c *chain) apply(h2, y int) {
 	c.minEntry[c.holder] = c.intervalAt(c.holder, c.hEnd).Hi + 1
 	clock := c.d.Clock(deposet.StateID{P: h2, K: y})
 	for i := 0; i < c.n; i++ {
-		if i != h2 && clock[i]+1 > c.g[i] {
-			c.g[i] = clock[i] + 1
+		if v := int(clock[i]) + 1; i != h2 && v > c.g[i] {
+			c.g[i] = v
 		}
 	}
 	if y > c.g[h2] {
@@ -246,12 +302,11 @@ func (c *chain) apply(h2, y int) {
 
 // search extends the chain until the holder's segment reaches ⊤,
 // backtracking over handoff choices. failed memoizes dead states.
-func (c *chain) search(failed map[string]bool, opts Options) bool {
+func (c *chain) search(failed *memo, opts Options) bool {
 	if c.hEnd == c.d.Len(c.holder) {
 		return true
 	}
-	key := c.key()
-	if failed[key] {
+	if failed.dead(c) {
 		return false
 	}
 	for _, cand := range c.candidates(opts) {
@@ -262,7 +317,7 @@ func (c *chain) search(failed map[string]bool, opts Options) bool {
 		}
 		c.restore(s)
 	}
-	failed[key] = true
+	failed.markDead(c)
 	return false
 }
 
@@ -387,7 +442,7 @@ func (c *chain) candidates(opts Options) []candidate {
 // infeasible, report it with the overlap witness; otherwise fall back to
 // the exhaustive general controller (tracked in Result.Fallback).
 func (c *chain) giveUp(d *deposet.Deposet, dj *predicate.Disjunction, opts Options, res *Result) (*Result, error) {
-	witness, definitely := detect.DefinitelyTruthPar(d, func(p, k int) bool { return !dj.Holds(d, p, k) }, opts.Par)
+	witness, definitely := detect.DefinitelyTruthPar(d, c.ft.Holds, opts.Par)
 	if definitely {
 		res.Witness = witness
 		return res, ErrInfeasible

@@ -143,6 +143,46 @@ func TestControlInfeasible(t *testing.T) {
 	}
 }
 
+// TestControlWideProcessesRegression: a feasible instance whose
+// processes exceed 255 states each. The search memo used to encode the
+// segment end hEnd as a single byte (and cut components as three), so
+// distinct search states past state 255 shared a key: a dead state could
+// shadow a live one and make the search wrongly declare a feasible chain
+// unreachable (surfacing as a fallback or an infeasibility report). The
+// memo now encodes every component at full width.
+func TestControlWideProcessesRegression(t *testing.T) {
+	const n, p = 3, 70 // 1+4·70 = 281 states per process, hEnd up to 281
+	b := deposet.NewBuilder(n)
+	states := 1 + 4*p
+	for q := 0; q < n; q++ {
+		for e := 1; e < states; e++ {
+			b.Step(q)
+		}
+	}
+	d := b.MustBuild()
+	truth := make([][]bool, n)
+	for q := 0; q < n; q++ {
+		truth[q] = make([]bool, states)
+		for k := 0; k < states; k++ {
+			truth[q][k] = k == 0 || (k-1)%4 >= 2 // T then p × (F F T T)
+		}
+	}
+	dj := predicate.DisjunctionFromTruth(truth)
+	for _, preferLate := range []bool{false, true} {
+		res, err := Control(d, dj, Options{PreferLate: preferLate})
+		if err != nil {
+			t.Fatalf("PreferLate=%v: err = %v, want feasible chain", preferLate, err)
+		}
+		if res.Fallback {
+			t.Fatalf("PreferLate=%v: polynomial chain search fell back to exhaustive search", preferLate)
+		}
+		if len(res.Relation) == 0 {
+			t.Fatalf("PreferLate=%v: empty relation cannot serialize %d overlapping false-intervals", preferLate, n*p)
+		}
+		verifyControlled(t, d, dj, res.Relation)
+	}
+}
+
 // feasibleOracle decides controller existence exhaustively: some
 // interleaving satisfies the disjunction everywhere.
 func feasibleOracle(d *deposet.Deposet, dj *predicate.Disjunction) bool {

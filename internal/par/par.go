@@ -81,3 +81,79 @@ func ForEach(n, workers int, fn func(i int)) {
 		}
 	})
 }
+
+// Loop is a round-synchronous sharded worker loop: the worker goroutines
+// are spawned once and reused for every round, so a multi-round parallel
+// scan (detection frontiers, clock-construction passes) pays goroutine
+// startup and closure allocation once per loop instead of once per
+// round. With one worker every round runs inline, like ForShard.
+type Loop struct {
+	workers int
+	n       int
+	fn      func(w, lo, hi int)
+	start   []chan struct{} // one per worker: tokens can't be stolen
+	done    chan struct{}
+}
+
+// NewLoop spawns the workers of a round-synchronous loop. workers is
+// resolved like Workers against shardHint, an upper bound on the item
+// counts the rounds will use. The caller must Close the loop.
+func NewLoop(shardHint, workers int) *Loop {
+	workers = Workers(workers, shardHint)
+	l := &Loop{workers: workers}
+	if workers == 1 {
+		return l
+	}
+	l.start = make([]chan struct{}, workers)
+	l.done = make(chan struct{}, workers)
+	for w := 0; w < workers; w++ {
+		ch := make(chan struct{}, 1)
+		l.start[w] = ch
+		go func(w int, ch chan struct{}) {
+			for range ch {
+				lo, hi := Shard(w, l.workers, l.n)
+				l.fn(w, lo, hi)
+				l.done <- struct{}{}
+			}
+		}(w, ch)
+	}
+	return l
+}
+
+// Workers returns the resolved worker count of the loop.
+func (l *Loop) Workers() int { return l.workers }
+
+// Round partitions [0, n) into the loop's shards and runs fn(w, lo, hi)
+// on every worker, returning after all complete. As with ForShard, fn
+// must confine writes to data owned by its shard; the send/receive pairs
+// give the same happens-before edges a spawn-and-wait barrier would.
+func (l *Loop) Round(n int, fn func(w, lo, hi int)) {
+	if l.workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	l.n, l.fn = n, fn
+	for _, ch := range l.start {
+		ch <- struct{}{}
+	}
+	for i := 0; i < l.workers; i++ {
+		<-l.done
+	}
+}
+
+// Each runs fn(i) for every i in [0, n) across the loop's shards.
+func (l *Loop) Each(n int, fn func(i int)) {
+	l.Round(n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Close terminates the worker goroutines. The loop must not be used
+// afterwards; Close must not race a Round.
+func (l *Loop) Close() {
+	for _, ch := range l.start {
+		close(ch)
+	}
+}

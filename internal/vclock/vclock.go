@@ -5,6 +5,10 @@
 // s. Indices are 0-based; the sentinel -1 means "no state of q precedes s".
 // This convention makes the happened-before test on states an O(1)
 // comparison, which the predicate-control algorithms rely on.
+//
+// Components are int32: state indices are bounded far below 2³¹ in
+// practice, and the narrower type halves the footprint of the flat clock
+// Arena that backs whole computations.
 package vclock
 
 import (
@@ -15,8 +19,9 @@ import (
 // None is the component value meaning "no state of that process is known".
 const None = -1
 
-// VC is a vector clock with one component per process.
-type VC []int
+// VC is a vector clock with one component per process. A VC may own its
+// storage (New) or alias one row of an Arena (Arena.Row).
+type VC []int32
 
 // New returns a vector clock of n components, all None.
 func New(n int) VC {
@@ -41,6 +46,24 @@ func (v VC) Merge(o VC) {
 		panic(fmt.Sprintf("vclock: merge length mismatch %d vs %d", len(v), len(o)))
 	}
 	for i, x := range o {
+		if x > v[i] {
+			v[i] = x
+		}
+	}
+}
+
+// MergeLowered merges o into v with o's component q replaced by lowered —
+// the "exit-event" merge of controlled computations (reaching the target
+// implies q's state lowered was passed, not o[q]) — without materializing
+// a modified copy of o.
+func (v VC) MergeLowered(o VC, q int, lowered int32) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("vclock: merge length mismatch %d vs %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		if i == q {
+			x = lowered
+		}
 		if x > v[i] {
 			v[i] = x
 		}

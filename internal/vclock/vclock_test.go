@@ -115,7 +115,7 @@ func TestString(t *testing.T) {
 func randVC(r *rand.Rand, n int) VC {
 	v := New(n)
 	for i := range v {
-		v[i] = r.Intn(5) - 1
+		v[i] = int32(r.Intn(5) - 1)
 	}
 	return v
 }
@@ -158,7 +158,7 @@ func TestMergeLUBProperty(t *testing.T) {
 		u := a.Clone()
 		u.Merge(b)
 		for i := range u {
-			u[i] += r.Intn(3)
+			u[i] += int32(r.Intn(3))
 		}
 		return m.LessEq(u)
 	}
