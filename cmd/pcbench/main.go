@@ -12,6 +12,10 @@
 //	pcbench -compare BENCH_memory.json     # diff a fresh sweep against the file;
 //	                                       # exits 1 on allocs/op or ns/op regression
 //	pcbench -compare OLD.json NEW.json     # diff two recorded sweeps
+//	pcbench -metrics                       # instrumented protocol sweep, Prometheus
+//	                                       # text format on stdout
+//	pcbench -cpuprofile cpu.pprof e10      # profile any of the above with pprof
+//	pcbench -memprofile mem.pprof e2       # ... heap profile at exit
 package main
 
 import (
@@ -19,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"predctl/internal/expt"
 )
@@ -46,7 +52,46 @@ func main() {
 	membaseline := flag.String("membaseline", "", "write the allocation baseline (allocs/op sweep) as JSON to this file and exit")
 	pre := flag.String("pre", "", "with -membaseline: embed this earlier sweep as the pre-change rows and record reductions")
 	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
+	metrics := flag.Bool("metrics", false, "run the instrumented protocol sweep and dump its metrics in Prometheus text format")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *metrics {
+		reg, err := expt.MetricsRegistry(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *baseline != "" {
 		doc, err := expt.BaselineJSON(*seed)
 		if err != nil {

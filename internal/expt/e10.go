@@ -9,6 +9,7 @@ import (
 	"predctl"
 	"predctl/internal/deposet"
 	"predctl/internal/detect"
+	"predctl/internal/obs"
 	"predctl/internal/offline"
 	"predctl/internal/predicate"
 )
@@ -36,15 +37,32 @@ type ParMeasurement struct {
 	Speedup4 float64          `json:"speedup4"`
 }
 
+// PhaseStats is the serialized form of one obs span: where the sweep's
+// wall time and heap allocations went, per pass (clock build, detect
+// scan, chain search, batch fan-out).
+type PhaseStats struct {
+	Calls  int64 `json:"calls"`
+	WallNs int64 `json:"wallNs"`
+	Allocs int64 `json:"allocs"`
+	Bytes  int64 `json:"allocBytes"`
+}
+
 // Baseline is the serializable parallel-engine performance baseline.
 type Baseline struct {
-	Schema     int              `json:"schema"`
-	GoVersion  string           `json:"goVersion"`
-	NumCPU     int              `json:"numCPU"`
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Seed       int64            `json:"seed"`
-	Note       string           `json:"note"`
-	Results    []ParMeasurement `json:"results"`
+	Schema     int                   `json:"schema"`
+	GoVersion  string                `json:"goVersion"`
+	NumCPU     int                   `json:"numCPU"`
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	Seed       int64                 `json:"seed"`
+	Note       string                `json:"note"`
+	Results    []ParMeasurement      `json:"results"`
+	Phases     map[string]PhaseStats `json:"phases"`
+}
+
+// parPhases are the span names MeasureParallel charges work to.
+var parPhases = []string{
+	"clock_build", "detect_possibly", "detect_definitely",
+	"offline_control", "batch_detect", "batch_control",
 }
 
 // measure times fn at each worker count and packages the result.
@@ -68,8 +86,13 @@ func measure(name string, procs, states, traces int, fn func(workers int)) ParMe
 // mid-size traces.
 func MeasureParallel(seed int64) *Baseline {
 	r := rand.New(rand.NewSource(seed))
+	// Every measured pass runs inside an obs span with allocation
+	// tracking, so the baseline can attribute wall time and heap churn
+	// per phase, not just per worker count.
+	reg := obs.NewRegistry()
+	reg.TrackAllocs = true
 	b := &Baseline{
-		Schema:     1,
+		Schema:     2,
 		GoVersion:  runtime.Version(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -88,15 +111,21 @@ func MeasureParallel(seed int64) *Baseline {
 	truthHigh := deposet.RandomTruth(r, big, 0.6)
 	b.Results = append(b.Results,
 		measure("deposet-build/clocks", 32, big.NumStates(), 0, func(w int) {
-			if _, err := bigBuilder.BuildParallel(w); err != nil {
-				panic(err)
-			}
+			reg.Span("clock_build", func() {
+				if _, err := bigBuilder.BuildParallel(w); err != nil {
+					panic(err)
+				}
+			})
 		}),
 		measure("detect-possibly", 32, big.NumStates(), 0, func(w int) {
-			detect.PossiblyTruthPar(big, func(p, k int) bool { return truthLow[p][k] }, force(w))
+			reg.Span("detect_possibly", func() {
+				detect.PossiblyTruthPar(big, func(p, k int) bool { return truthLow[p][k] }, force(w))
+			})
 		}),
 		measure("detect-definitely", 32, big.NumStates(), 0, func(w int) {
-			detect.DefinitelyTruthPar(big, func(p, k int) bool { return truthHigh[p][k] }, force(w))
+			reg.Span("detect_definitely", func() {
+				detect.DefinitelyTruthPar(big, func(p, k int) bool { return truthHigh[p][k] }, force(w))
+			})
 		}),
 	)
 
@@ -104,9 +133,11 @@ func MeasureParallel(seed int64) *Baseline {
 	cd, cdj := intervalWorkload(32, 128)
 	b.Results = append(b.Results,
 		measure("offline-control n=32 p=128", 32, cd.NumStates(), 0, func(w int) {
-			if _, err := offline.Control(cd, cdj, offline.Options{Par: force(w)}); err != nil {
-				panic(err)
-			}
+			reg.Span("offline_control", func() {
+				if _, err := offline.Control(cd, cdj, offline.Options{Par: force(w)}); err != nil {
+					panic(err)
+				}
+			})
 		}))
 
 	// Batch layer of the predctl facade: many mid-size traces analyzed
@@ -131,16 +162,28 @@ func MeasureParallel(seed int64) *Baseline {
 	}
 	b.Results = append(b.Results,
 		measure("batch-detect", 8, states, traces, func(w int) {
-			if _, err := predctl.DetectBatch(ds, qs, w); err != nil {
-				panic(err)
-			}
+			reg.Span("batch_detect", func() {
+				if _, err := predctl.DetectBatch(ds, qs, w); err != nil {
+					panic(err)
+				}
+			})
 		}),
 		measure("batch-control", 8, states, traces, func(w int) {
-			if _, err := predctl.ControlBatch(ds, djs, w); err != nil {
-				panic(err)
-			}
+			reg.Span("batch_control", func() {
+				if _, err := predctl.ControlBatch(ds, djs, w); err != nil {
+					panic(err)
+				}
+			})
 		}),
 	)
+	b.Phases = make(map[string]PhaseStats, len(parPhases))
+	for _, name := range parPhases {
+		s := reg.SpanStats(name)
+		b.Phases[name] = PhaseStats{
+			Calls: s.Count(), WallNs: s.Wall().Nanoseconds(),
+			Allocs: s.Allocs(), Bytes: s.Bytes(),
+		}
+	}
 	return b
 }
 

@@ -17,7 +17,7 @@ func TestBaselineJSONShape(t *testing.T) {
 	if err := json.Unmarshal(doc, &b); err != nil {
 		t.Fatal(err)
 	}
-	if b.Schema != 1 || b.GoVersion == "" || b.NumCPU < 1 {
+	if b.Schema != 2 || b.GoVersion == "" || b.NumCPU < 1 {
 		t.Fatalf("bad header: %+v", b)
 	}
 	want := map[string]bool{
@@ -42,6 +42,18 @@ func TestBaselineJSONShape(t *testing.T) {
 	for name, seen := range want {
 		if !seen {
 			t.Fatalf("workload %q missing from baseline", name)
+		}
+	}
+	for _, phase := range parPhases {
+		ps, ok := b.Phases[phase]
+		if !ok {
+			t.Fatalf("phase %q missing from baseline", phase)
+		}
+		if ps.Calls <= 0 || ps.WallNs <= 0 {
+			t.Fatalf("phase %q: empty stats %+v", phase, ps)
+		}
+		if ps.Allocs <= 0 {
+			t.Fatalf("phase %q: TrackAllocs recorded no allocations", phase)
 		}
 	}
 }

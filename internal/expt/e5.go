@@ -2,36 +2,47 @@ package expt
 
 import (
 	"fmt"
+	"strconv"
 
 	"predctl/internal/kmutex"
+	"predctl/internal/obs"
 )
 
 // E5 reproduces the §6 broadcast-variant remark: "we can devise a scheme
 // where the scapegoat broadcasts a request to all controllers", reducing
-// response time at the expense of message overhead.
+// response time at the expense of message overhead. Rows are derived
+// from the obs metrics registry; the cancels column is the broadcast
+// variant's extra confirm/cancel traffic, visible only as a metric.
 func E5(seed int64) *Table {
 	t := &Table{
 		ID:    "E5",
 		Title: "broadcast handoff variant: latency vs messages (§6)",
 		Claim: "broadcasting reduces response time at the expense of message overhead",
 		Columns: []string{
-			"n", "variant", "messages", "msgs/entry", "mean resp", "max resp",
+			"n", "variant", "messages", "msgs/entry", "mean resp", "max resp", "cancels",
 		},
 	}
+	reg := obs.NewRegistry()
 	for _, n := range []int{4, 8, 16} {
 		w := e4Workload(n, seed)
+		w.Reg = reg
+		w.MetricLabels = []obs.Label{obs.L("n", strconv.Itoa(n))}
 		for _, bc := range []bool{false, true} {
-			name := "unicast"
+			name, proto := "unicast", "scapegoat"
 			if bc {
-				name = "broadcast"
+				name, proto = "broadcast", "scapegoat-broadcast"
 			}
-			_, m, err := kmutex.RunScapegoat(w, bc)
-			if err != nil {
+			if _, _, err := kmutex.RunScapegoat(w, bc); err != nil {
 				panic(err)
 			}
-			t.Row(n, name, m.CtlMessages,
-				fmt.Sprintf("%.3f", m.MessagesPerEntry()),
-				fmt.Sprintf("%.1f", m.MeanResponse()), m.MaxResponse())
+			labels := append([]obs.Label{obs.L("proto", proto)}, w.MetricLabels...)
+			msgs := reg.Counter("predctl_ctl_messages_total", labels...).Value()
+			entries := reg.Counter("predctl_cs_entries_total", labels...).Value()
+			resp := reg.Histogram("predctl_response_vtime", labels...)
+			cancels := reg.Counter("predctl_broadcast_cancels_total", labels...).Value()
+			t.Row(n, name, msgs,
+				fmt.Sprintf("%.3f", float64(msgs)/float64(entries)),
+				fmt.Sprintf("%.1f", resp.Mean()), resp.Max(), cancels)
 		}
 	}
 	t.Note("the implementation adds a confirm/cancel round the paper does not")

@@ -11,6 +11,7 @@ package kmutex
 import (
 	"fmt"
 
+	"predctl/internal/obs"
 	"predctl/internal/online"
 	"predctl/internal/sim"
 )
@@ -28,6 +29,59 @@ type Workload struct {
 	Delay    sim.Time
 	Seed     int64
 	Trace    bool
+	// Journal, when non-nil, records the run's structured event trace
+	// (kernel + protocol events; see internal/obs).
+	Journal *obs.Journal
+	// Reg, when non-nil, receives the run's protocol metrics. Every
+	// run records into a registry — a private one when Reg is nil —
+	// and the returned Metrics is a *view over that registry*, so the
+	// numbers a caller dumps in Prometheus format and the numbers the
+	// experiment tables print cannot drift.
+	Reg *obs.Registry
+	// MetricLabels dimensions the metrics (a proto=... label is added
+	// by each runner).
+	MetricLabels []obs.Label
+}
+
+// meters resolves the workload's metric instruments for one protocol.
+type meters struct {
+	reg     *obs.Registry
+	labels  []obs.Label
+	ctl     *obs.Counter
+	entries *obs.Counter
+	resp    *obs.Histogram
+	end     *obs.Gauge
+}
+
+func (w Workload) meters(proto string) meters {
+	reg := w.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	labels := append([]obs.Label{obs.L("proto", proto)}, w.MetricLabels...)
+	return meters{
+		reg:     reg,
+		labels:  labels,
+		ctl:     reg.Counter("predctl_ctl_messages_total", labels...),
+		entries: reg.Counter("predctl_cs_entries_total", labels...),
+		resp:    reg.Histogram("predctl_response_vtime", labels...),
+		end:     reg.Gauge("predctl_run_end_vtime", labels...),
+	}
+}
+
+// metrics packages the registry's view as the legacy Metrics struct.
+func (m meters) metrics() *Metrics {
+	vals := m.resp.Values()
+	responses := make([]sim.Time, len(vals))
+	for i, v := range vals {
+		responses[i] = sim.Time(v)
+	}
+	return &Metrics{
+		CtlMessages: int(m.ctl.Value()),
+		Entries:     int(m.entries.Value()),
+		Responses:   responses,
+		End:         sim.Time(m.end.Value()),
+	}
 }
 
 func (w Workload) k() int {
@@ -88,16 +142,24 @@ func RunScapegoat(w Workload, broadcast bool) (*sim.Trace, *Metrics, error) {
 		return nil, nil, fmt.Errorf("kmutex: the anti-token solves only k = n-1 (n=%d, k=%d)", w.N, w.k())
 	}
 	apps := make([]func(*online.Guard), w.N)
-	m := &Metrics{}
+	proto := "scapegoat"
+	if broadcast {
+		proto = "scapegoat-broadcast"
+	}
+	// The online layer owns the control-message counter and the
+	// response histogram (the Guard observes each grant latency); the
+	// workload records only what the protocol cannot see — CS entries.
+	// Sharing one registry keyspace means the returned Metrics, the
+	// Prometheus dump, and online.Stats are views of the same counts.
+	m := w.meters(proto)
 	for i := range apps {
 		apps[i] = func(g *online.Guard) {
 			p := g.P()
 			p.Init("cs", 0)
 			for r := 0; r < w.Rounds; r++ {
 				think(p, w)
-				resp := g.RequestFalse()
-				m.Responses = append(m.Responses, resp)
-				m.Entries++
+				g.RequestFalse()
+				m.entries.Inc()
 				p.Set("cs", 1)
 				p.Work(w.CS)
 				p.Set("cs", 0)
@@ -105,35 +167,37 @@ func RunScapegoat(w Workload, broadcast bool) (*sim.Trace, *Metrics, error) {
 			}
 		}
 	}
-	tr, stats, err := online.Run(online.Config{
-		N:         w.N,
-		Delay:     w.Delay,
-		Seed:      w.Seed,
-		Trace:     w.Trace,
-		Broadcast: broadcast,
+	tr, _, err := online.Run(online.Config{
+		N:            w.N,
+		Delay:        w.Delay,
+		Seed:         w.Seed,
+		Trace:        w.Trace,
+		Broadcast:    broadcast,
+		Journal:      w.Journal,
+		Reg:          m.reg,
+		MetricLabels: m.labels,
 	}, apps)
 	if err != nil {
 		return nil, nil, err
 	}
-	m.CtlMessages = stats.CtlMessages
-	m.End = tr.Stats.End
-	return tr, m, nil
+	m.end.Set(int64(tr.Stats.End))
+	return tr, m.metrics(), nil
 }
 
 // RunUncontrolled runs the workload with no synchronization at all: the
 // baseline in which the bug "all processes in their critical sections"
 // is possible. Used to show what control removes.
 func RunUncontrolled(w Workload) (*sim.Trace, *Metrics, error) {
-	m := &Metrics{}
-	k := sim.New(sim.Config{Procs: w.N, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace})
+	m := w.meters("uncontrolled")
+	k := sim.New(sim.Config{Procs: w.N, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace, Journal: w.Journal})
 	bodies := make([]func(*sim.Proc), w.N)
 	for i := range bodies {
 		bodies[i] = func(p *sim.Proc) {
 			p.Init("cs", 0)
 			for r := 0; r < w.Rounds; r++ {
 				think(p, w)
-				m.Entries++
-				m.Responses = append(m.Responses, 0)
+				m.entries.Inc()
+				m.resp.Observe(0)
 				p.Set("cs", 1)
 				p.Work(w.CS)
 				p.Set("cs", 0)
@@ -144,8 +208,8 @@ func RunUncontrolled(w Workload) (*sim.Trace, *Metrics, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	m.End = tr.Stats.End
-	return tr, m, nil
+	m.end.Set(int64(tr.Stats.End))
+	return tr, m.metrics(), nil
 }
 
 // --- Centralized coordinator ---
@@ -165,9 +229,9 @@ type centralMsg struct{ kind centralKind }
 // textbook centralized algorithm the paper's distributed strategy is
 // contrasted with.
 func RunCentral(w Workload) (*sim.Trace, *Metrics, error) {
-	m := &Metrics{}
+	m := w.meters("central")
 	coord := w.N
-	k := sim.New(sim.Config{Procs: w.N + 1, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace})
+	k := sim.New(sim.Config{Procs: w.N + 1, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace, Journal: w.Journal})
 	bodies := make([]func(*sim.Proc), w.N+1)
 	for i := 0; i < w.N; i++ {
 		bodies[i] = func(p *sim.Proc) {
@@ -176,7 +240,7 @@ func RunCentral(w Workload) (*sim.Trace, *Metrics, error) {
 				think(p, w)
 				start := p.Now()
 				p.Send(coord, centralMsg{centralReq})
-				m.CtlMessages++
+				m.ctl.Inc()
 				for {
 					from, raw := p.Recv()
 					if from == coord && raw.(centralMsg).kind == centralGrant {
@@ -184,13 +248,13 @@ func RunCentral(w Workload) (*sim.Trace, *Metrics, error) {
 					}
 					panic("kmutex: unexpected message at client")
 				}
-				m.Responses = append(m.Responses, p.Now()-start)
-				m.Entries++
+				m.resp.Observe(int64(p.Now() - start))
+				m.entries.Inc()
 				p.Set("cs", 1)
 				p.Work(w.CS)
 				p.Set("cs", 0)
 				p.Send(coord, centralMsg{centralRelease})
-				m.CtlMessages++
+				m.ctl.Inc()
 			}
 		}
 	}
@@ -205,7 +269,7 @@ func RunCentral(w Workload) (*sim.Trace, *Metrics, error) {
 				if active < w.k() {
 					active++
 					p.Send(from, centralMsg{centralGrant})
-					m.CtlMessages++
+					m.ctl.Inc()
 				} else {
 					queue = append(queue, from)
 				}
@@ -214,7 +278,7 @@ func RunCentral(w Workload) (*sim.Trace, *Metrics, error) {
 					next := queue[0]
 					queue = queue[1:]
 					p.Send(next, centralMsg{centralGrant})
-					m.CtlMessages++
+					m.ctl.Inc()
 				} else {
 					active--
 				}
@@ -225,8 +289,8 @@ func RunCentral(w Workload) (*sim.Trace, *Metrics, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	m.End = tr.Stats.End
-	return tr, m, nil
+	m.end.Set(int64(tr.Stats.End))
+	return tr, m.metrics(), nil
 }
 
 // --- Distributed k-token algorithm ---
@@ -246,8 +310,8 @@ type tokenMsg struct{ kind tokenKind }
 // (the class of algorithms the paper's anti-token is contrasted with —
 // k privileges instead of n−k liabilities).
 func RunToken(w Workload) (*sim.Trace, *Metrics, error) {
-	m := &Metrics{}
-	k := sim.New(sim.Config{Procs: w.N, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace})
+	m := w.meters("token")
+	k := sim.New(sim.Config{Procs: w.N, Delay: sim.ConstantDelay(w.Delay), Seed: w.Seed, Trace: w.Trace, Journal: w.Journal})
 	bodies := make([]func(*sim.Proc), w.N)
 	for i := 0; i < w.N; i++ {
 		i := i
@@ -264,7 +328,7 @@ func RunToken(w Workload) (*sim.Trace, *Metrics, error) {
 					queue = queue[1:]
 					tokens--
 					p.Send(to, tokenMsg{tokenGrant})
-					m.CtlMessages++
+					m.ctl.Inc()
 				}
 			}
 			handle := func(from int, raw any) {
@@ -294,15 +358,15 @@ func RunToken(w Workload) (*sim.Trace, *Metrics, error) {
 					for q := 0; q < w.N; q++ {
 						if q != i {
 							p.Send(q, tokenMsg{tokenReq})
-							m.CtlMessages++
+							m.ctl.Inc()
 						}
 					}
 					for tokens == 0 {
 						handle(p.Recv())
 					}
 				}
-				m.Responses = append(m.Responses, p.Now()-start)
-				m.Entries++
+				m.resp.Observe(int64(p.Now() - start))
+				m.entries.Inc()
 				inCS = true
 				p.Set("cs", 1)
 				p.Work(w.CS)
@@ -324,6 +388,6 @@ func RunToken(w Workload) (*sim.Trace, *Metrics, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	m.End = tr.Stats.End
-	return tr, m, nil
+	m.end.Set(int64(tr.Stats.End))
+	return tr, m.metrics(), nil
 }

@@ -22,6 +22,7 @@ package monitor
 import (
 	"fmt"
 
+	"predctl/internal/obs"
 	"predctl/internal/sim"
 	"predctl/internal/vclock"
 )
@@ -75,10 +76,27 @@ type Probe struct {
 	n       int
 	checker int
 	vc      vclock.VC
+	m       monMeters
 
 	inTrue bool
 	lo     vclock.VC
 	loIdx  int
+}
+
+// monMeters is the monitor's resolved metric set (all nil without a
+// registry; the obs instruments are nil-safe).
+type monMeters struct {
+	candidates *obs.Counter
+	drops      *obs.Counter
+	detected   *obs.Gauge
+}
+
+func newMonMeters(reg *obs.Registry, labels []obs.Label) monMeters {
+	return monMeters{
+		candidates: reg.Counter("predctl_monitor_candidates_total", labels...),
+		drops:      reg.Counter("predctl_monitor_drops_total", labels...),
+		detected:   reg.Gauge("predctl_monitor_detected", labels...),
+	}
 }
 
 // tick advances the local clock component (one tick per probe event).
@@ -152,10 +170,22 @@ func (pr *Probe) SetLocal(truth bool) {
 // emit sends the just-closed interval to the checker. hiIdx is the
 // traced index of the interval's last state.
 func (pr *Probe) emit(hiIdx int) {
+	hi := pr.vc.Clone()
+	if j := pr.p.Journal(); j != nil {
+		// Candidate intervals are the monitor's protocol events; the
+		// journal entry carries the interval-end vector clock, the one
+		// place runtime clocks are available to the trace.
+		j.Append(obs.Event{
+			At: int64(pr.p.Now()), Proc: pr.p.ID(), Kind: obs.KindControl,
+			Name: "monitor.candidate", A: int64(pr.loIdx), B: int64(hiIdx),
+			VC: []int32(hi),
+		})
+	}
+	pr.m.candidates.Inc()
 	pr.p.Send(pr.checker, envelope{kind: kindCandidate, cand: candidate{
 		proc:  pr.p.ID(),
 		lo:    pr.lo,
-		hi:    pr.vc.Clone(),
+		hi:    hi,
 		loIdx: pr.loIdx,
 		hiIdx: hiIdx,
 	}})
@@ -176,6 +206,13 @@ func (pr *Probe) Close() {
 // Detection is valid after the run completes; cfg.Trace also yields the
 // deposet (apps plus checker) for off-line cross-checking.
 func Run(cfg sim.Config, apps []func(*Probe)) (*sim.Trace, *Detection, error) {
+	return RunObs(cfg, nil, nil, apps)
+}
+
+// RunObs is Run with protocol metrics: candidate-interval emissions,
+// checker eliminations and the verdict are recorded into reg (carrying
+// labels) alongside any cfg.Journal tracing. A nil reg records nothing.
+func RunObs(cfg sim.Config, reg *obs.Registry, labels []obs.Label, apps []func(*Probe)) (*sim.Trace, *Detection, error) {
 	n := len(apps)
 	if cfg.Procs != 0 && cfg.Procs != n+1 {
 		return nil, nil, fmt.Errorf("monitor: Procs must be unset or %d", n+1)
@@ -185,12 +222,13 @@ func Run(cfg sim.Config, apps []func(*Probe)) (*sim.Trace, *Detection, error) {
 	// candidates; FIFO channels give exactly that.
 	cfg.FIFO = true
 	det := &Detection{}
+	m := newMonMeters(reg, labels)
 	k := sim.New(cfg)
 	bodies := make([]func(*sim.Proc), n+1)
 	for i := 0; i < n; i++ {
 		i := i
 		bodies[i] = func(p *sim.Proc) {
-			pr := &Probe{p: p, n: n, checker: n, vc: vclock.New(n)}
+			pr := &Probe{p: p, n: n, checker: n, vc: vclock.New(n), m: m}
 			for q := range pr.vc {
 				pr.vc[q] = 0 // Fidge–Mattern convention: own component counts events
 			}
@@ -198,13 +236,16 @@ func Run(cfg sim.Config, apps []func(*Probe)) (*sim.Trace, *Detection, error) {
 			pr.Close()
 		}
 	}
-	bodies[n] = func(p *sim.Proc) { runChecker(p, n, det) }
+	bodies[n] = func(p *sim.Proc) { runChecker(p, n, det, m) }
 	tr, err := k.Run(bodies...)
+	if det.Found {
+		m.detected.Set(1)
+	}
 	return tr, det, err
 }
 
 // runChecker is the centralized Garg–Waldecker checker.
-func runChecker(p *sim.Proc, n int, det *Detection) {
+func runChecker(p *sim.Proc, n int, det *Detection, m monMeters) {
 	queues := make([][]candidate, n)
 	done := make([]bool, n)
 	doneCount := 0
@@ -220,7 +261,7 @@ func runChecker(p *sim.Proc, n int, det *Detection) {
 		default:
 			panic(fmt.Sprintf("monitor: checker received %v", env.kind))
 		}
-		advance(queues, det)
+		advance(queues, det, m.drops)
 	}
 	// Remaining messages are drained by the kernel; the checker's verdict
 	// is final once every process reported done or a witness was found.
@@ -235,8 +276,8 @@ var debugLog func(string, ...any)
 
 // advance runs the candidate-elimination loop: discard any interval that
 // wholly precedes another process's current interval; report when the
-// fronts are pairwise overlappable.
-func advance(queues [][]candidate, det *Detection) {
+// fronts are pairwise overlappable. drops counts eliminations.
+func advance(queues [][]candidate, det *Detection, drops *obs.Counter) {
 	n := len(queues)
 	for {
 		for i := 0; i < n; i++ {
@@ -257,6 +298,7 @@ func advance(queues [][]candidate, det *Detection) {
 						debugLog("drop P%d %+v because P%d lo=%v", i, queues[i][0], j, queues[j][0].lo)
 					}
 					queues[i] = queues[i][1:]
+					drops.Inc()
 					dropped = true
 					break
 				}

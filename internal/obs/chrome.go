@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// chrome.go renders a Journal as Chrome trace_event JSON — the format
+// chrome://tracing and Perfetto load — so any instrumented run can be
+// replayed visually: one timeline row per simulated process, work as
+// duration slices, messages as flow arrows from send to receive,
+// blocked-on-receive as nested slices, state-variable flips as counter
+// tracks, and protocol annotations as instant events. Virtual time maps
+// 1:1 onto trace microseconds.
+
+// traceEvent is one trace_event record. Field order (and the struct
+// encoding of encoding/json) makes the output byte-deterministic for a
+// deterministic journal, which the golden test pins.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int64          `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// ChromeTraceOptions tunes the export.
+type ChromeTraceOptions struct {
+	// ProcNames labels the timeline rows; row i falls back to "P<i>".
+	ProcNames []string
+}
+
+func (o ChromeTraceOptions) procName(p int) string {
+	if p >= 0 && p < len(o.ProcNames) && o.ProcNames[p] != "" {
+		return o.ProcNames[p]
+	}
+	return fmt.Sprintf("P%d", p)
+}
+
+// ChromeTrace renders the journal as trace_event JSON. The output is
+// deterministic: events come out in journal order, metadata first.
+func ChromeTrace(j *Journal, opts ChromeTraceOptions) ([]byte, error) {
+	events := j.Events()
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	emit := func(e traceEvent) { doc.TraceEvents = append(doc.TraceEvents, e) }
+
+	// Thread metadata: name every process row that appears.
+	maxProc := -1
+	for _, e := range events {
+		if e.Proc > maxProc {
+			maxProc = e.Proc
+		}
+	}
+	emit(traceEvent{Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "predctl run"}})
+	for p := 0; p <= maxProc; p++ {
+		emit(traceEvent{Name: "thread_name", Ph: "M", Pid: 0, Tid: p,
+			Args: map[string]any{"name": opts.procName(p)}})
+	}
+
+	// blockStart holds the open KindBlock per process, paired with the
+	// next KindUnblock into a B/E slice.
+	blockStart := map[int]Event{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSend:
+			emit(traceEvent{Name: "send", Ph: "i", Ts: e.At, Pid: 0, Tid: e.Proc, S: "t",
+				Args: map[string]any{"to": e.A, "msg": e.B}})
+			emit(traceEvent{Name: fmt.Sprintf("msg %d→%d", e.Proc, e.A), Ph: "s",
+				Ts: e.At, Pid: 0, Tid: e.Proc, ID: e.B})
+		case KindRecv:
+			emit(traceEvent{Name: fmt.Sprintf("msg %d→%d", e.A, e.Proc), Ph: "f", Bp: "e",
+				Ts: e.At, Pid: 0, Tid: e.Proc, ID: e.B})
+		case KindBlock:
+			blockStart[e.Proc] = e
+		case KindUnblock:
+			if b, ok := blockStart[e.Proc]; ok {
+				delete(blockStart, e.Proc)
+				emit(traceEvent{Name: "blocked (" + b.Name + ")", Ph: "X",
+					Ts: b.At, Dur: e.At - b.At, Pid: 0, Tid: e.Proc})
+			}
+		case KindWork:
+			emit(traceEvent{Name: "work", Ph: "X", Ts: e.At, Dur: e.B, Pid: 0, Tid: e.Proc})
+		case KindSet:
+			emit(traceEvent{Name: fmt.Sprintf("%s@%s", e.Name, opts.procName(e.Proc)),
+				Ph: "C", Ts: e.At, Pid: 0, Tid: e.Proc,
+				Args: map[string]any{e.Name: e.A}})
+		case KindControl, KindMark:
+			args := map[string]any{"a": e.A, "b": e.B}
+			if e.VC != nil {
+				args["vc"] = e.VC
+			}
+			emit(traceEvent{Name: e.Name, Ph: "i", Ts: e.At, Pid: 0, Tid: e.Proc, S: "t",
+				Args: args})
+		}
+	}
+	// Close any block the run tore down while still open (sorted by
+	// process so the output stays deterministic).
+	for p := 0; p <= maxProc; p++ {
+		if b, ok := blockStart[p]; ok {
+			emit(traceEvent{Name: "blocked (" + b.Name + ", unresolved)", Ph: "i",
+				Ts: b.At, Pid: 0, Tid: p, S: "t"})
+		}
+	}
+
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,138 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"predctl/internal/kmutex"
+	"predctl/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// instrumentedMutexRun is the fixed-seed workload the golden file pins:
+// small enough to review by hand, large enough to exercise every event
+// kind (sends, receives, blocks, work, predicate flips, control
+// annotations).
+func instrumentedMutexRun(t *testing.T) *obs.Journal {
+	t.Helper()
+	j := obs.NewJournal(0)
+	w := kmutex.Workload{
+		N: 3, Rounds: 2, ThinkMax: 200, CS: 20, Delay: 5,
+		Seed: 1998, Journal: j,
+	}
+	if _, _, err := kmutex.RunScapegoat(w, false); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func procNames(n int) []string {
+	names := make([]string, 2*n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("app%d", i)
+		names[n+i] = fmt.Sprintf("ctl%d", i)
+	}
+	return names
+}
+
+// TestChromeTraceGolden locks the exporter's byte-exact output for a
+// deterministic run. Regenerate with:
+//
+//	go test ./internal/obs -run TestChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	j := instrumentedMutexRun(t)
+	doc, err := obs.ChromeTrace(j, obs.ChromeTraceOptions{ProcNames: procNames(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_kmutex_n3.json")
+	if *update {
+		if err := os.WriteFile(golden, doc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(doc))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(doc, want) {
+		t.Fatalf("Chrome trace drifted from %s (regenerate with -update if intended);\ngot %d bytes, want %d", golden, len(doc), len(want))
+	}
+}
+
+// TestChromeTraceWellFormed checks structural validity independently of
+// the golden bytes: parseable JSON, matched send/recv flow pairs, and
+// every event attributed to a known process row.
+func TestChromeTraceWellFormed(t *testing.T) {
+	j := instrumentedMutexRun(t)
+	doc, err := obs.ChromeTrace(j, obs.ChromeTraceOptions{ProcNames: procNames(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Tid  int    `json:"tid"`
+			ID   int64  `json:"id"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed.DisplayTimeUnit != "ms" || len(parsed.TraceEvents) == 0 {
+		t.Fatalf("bad document header: %+v", parsed.DisplayTimeUnit)
+	}
+	flows := map[int64]int{} // msg id → starts - ends
+	kinds := map[string]int{}
+	for _, e := range parsed.TraceEvents {
+		kinds[e.Ph]++
+		if e.Tid < 0 || e.Tid >= 6 {
+			t.Fatalf("event %q on unknown row %d", e.Name, e.Tid)
+		}
+		switch e.Ph {
+		case "s":
+			flows[e.ID]++
+		case "f":
+			flows[e.ID]--
+		}
+	}
+	// Every flow end must have a start; starts without an end are fine
+	// (messages still in flight when the run tore down).
+	for id, d := range flows {
+		if d < 0 {
+			t.Errorf("flow %d has a receive with no send", id)
+		}
+	}
+	for _, ph := range []string{"M", "X", "i", "s", "f", "C"} {
+		if kinds[ph] == 0 {
+			t.Errorf("no %q events in export; kinds = %v", ph, kinds)
+		}
+	}
+}
+
+// TestChromeTraceDeterministic: same seed, same bytes — the property
+// the golden file relies on.
+func TestChromeTraceDeterministic(t *testing.T) {
+	a, err := obs.ChromeTrace(instrumentedMutexRun(t), obs.ChromeTraceOptions{ProcNames: procNames(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := obs.ChromeTrace(instrumentedMutexRun(t), obs.ChromeTraceOptions{ProcNames: procNames(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("export is not deterministic across identical runs")
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// invariant.go turns the paper's analytic evaluation into live,
+// machine-checked assertions on instrumented runs:
+//
+//   - §6 (Theorem 4 evaluation): every handoff response time lies in
+//     {0} ∪ [2T, 2T+Emax] — zero when the requester is not the
+//     scapegoat, the window when it is.
+//   - §6: the anti-token is unique — the scapegoat role moves along a
+//     single chain; every acquisition names the current holder as the
+//     releaser.
+//   - §5 (Theorem 2): the off-line controller emits at most O(np)
+//     control messages — concretely ≤ n(p+1) chain handoffs for n
+//     processes with ≤ p false-intervals each.
+//
+// A violation carries the offending journal slice so the failure is
+// debuggable from the report alone.
+
+// Control-event names recorded by internal/online and consumed here;
+// shared constants keep the emitter and the checker from drifting.
+const (
+	// EvScapegoatInit marks the initial anti-token holder; A is its
+	// application process index.
+	EvScapegoatInit = "scapegoat.init"
+	// EvScapegoatAcquire marks a role transfer: A is the acquiring
+	// application process, B the releasing one.
+	EvScapegoatAcquire = "scapegoat.acquire"
+	// EvCtlPrefix prefixes controller-to-controller protocol messages
+	// ("ctl.req", "ctl.ack", "ctl.confirm", "ctl.cancel").
+	EvCtlPrefix = "ctl."
+)
+
+// Violation is one failed invariant with its journal context.
+type Violation struct {
+	Invariant string
+	Detail    string
+	Events    []Event // offending journal slice (may be empty)
+}
+
+func (v Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant %q violated: %s", v.Invariant, v.Detail)
+	for _, e := range v.Events {
+		fmt.Fprintf(&b, "\n  seq=%d t=%d P%d %s", e.Seq, e.At, e.Proc, describe(e))
+	}
+	return b.String()
+}
+
+// Report collects the outcome of a set of invariant checks.
+type Report struct {
+	Checked    []string
+	Violations []Violation
+}
+
+// Ok reports whether every check passed.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when all checks passed, or an error aggregating every
+// violation.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	msgs := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		msgs[i] = v.String()
+	}
+	return fmt.Errorf("obs: %d invariant violation(s):\n%s", len(r.Violations), strings.Join(msgs, "\n"))
+}
+
+func (r *Report) checked(name string) { r.Checked = append(r.Checked, name) }
+
+func (r *Report) violate(inv, detail string, events []Event) {
+	r.Violations = append(r.Violations, Violation{Invariant: inv, Detail: detail, Events: events})
+}
+
+// CheckResponses asserts the §6 response-time bound on every
+// observation of hist: response ∈ {0} ∪ [2T, 2T+Emax]. journalCtx, when
+// non-nil, supplies context events for a violation (its tail).
+func (r *Report) CheckResponses(hist *Histogram, T, Emax int64, journalCtx *Journal) {
+	const inv = "response ∈ {0} ∪ [2T, 2T+Emax]"
+	r.checked(inv)
+	for i, v := range hist.Values() {
+		if v == 0 || (v >= 2*T && v <= 2*T+Emax) {
+			continue
+		}
+		r.violate(inv,
+			fmt.Sprintf("observation #%d is %d (T=%d, Emax=%d: allowed {0} ∪ [%d, %d])",
+				i, v, T, Emax, 2*T, 2*T+Emax),
+			tail(journalCtx, 12))
+	}
+}
+
+// CheckScapegoatChain asserts the anti-token uniqueness invariant on
+// the journal's control events: exactly one EvScapegoatInit, and every
+// EvScapegoatAcquire names the current holder as the releaser. When the
+// journal wrapped (Dropped > 0) the check is skipped — the chain's
+// prefix is gone, so absence of evidence is not evidence.
+func (r *Report) CheckScapegoatChain(j *Journal) {
+	const inv = "single scapegoat chain"
+	if j.Dropped() > 0 {
+		return
+	}
+	r.checked(inv)
+	holder := int64(-1)
+	seen := false
+	for _, e := range j.Events() {
+		if e.Kind != KindControl {
+			continue
+		}
+		switch e.Name {
+		case EvScapegoatInit:
+			if seen {
+				r.violate(inv, fmt.Sprintf("second scapegoat.init for P%d (holder was P%d)", e.A, holder),
+					j.Slice(sat(e.Seq, 6), e.Seq))
+				return
+			}
+			seen = true
+			holder = e.A
+		case EvScapegoatAcquire:
+			if !seen {
+				r.violate(inv, fmt.Sprintf("acquire by P%d before any scapegoat.init", e.A),
+					j.Slice(sat(e.Seq, 6), e.Seq))
+				return
+			}
+			if e.B != holder {
+				r.violate(inv,
+					fmt.Sprintf("P%d acquired the anti-token from P%d, but the holder was P%d (forked chain)",
+						e.A, e.B, holder),
+					j.Slice(sat(e.Seq, 6), e.Seq))
+				return
+			}
+			holder = e.A
+		}
+	}
+}
+
+// CheckOfflineEdges asserts the §5 message bound for the off-line
+// disjunctive controller: at most n(p+1) control messages for n
+// processes with at most p false-intervals each (one per chain handoff;
+// the paper states the O(np) bound).
+func (r *Report) CheckOfflineEdges(edges, n, p int) {
+	const inv = "off-line control messages ≤ n(p+1)"
+	r.checked(inv)
+	if bound := n * (p + 1); edges > bound {
+		r.violate(inv, fmt.Sprintf("%d control edges for n=%d, p=%d (bound %d)", edges, n, p, bound), nil)
+	}
+}
+
+// ChainLength returns the number of anti-token transfers recorded in
+// the journal (the scapegoat chain length), for the
+// predctl_scapegoat_chain_length gauge.
+func ChainLength(j *Journal) int64 {
+	var n int64
+	for _, e := range j.Events() {
+		if e.Kind == KindControl && e.Name == EvScapegoatAcquire {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockedTime sums, per process, the virtual time spent between each
+// KindBlock and its matching KindUnblock — the "blocked virtual time"
+// protocol metric, derived from the journal rather than recorded twice.
+func BlockedTime(j *Journal) map[int]int64 {
+	out := map[int]int64{}
+	open := map[int]int64{}
+	for _, e := range j.Events() {
+		switch e.Kind {
+		case KindBlock:
+			open[e.Proc] = e.At
+		case KindUnblock:
+			if t, ok := open[e.Proc]; ok {
+				out[e.Proc] += e.At - t
+				delete(open, e.Proc)
+			}
+		}
+	}
+	return out
+}
+
+// tail returns the last n events of j (nil journal → nil).
+func tail(j *Journal, n int) []Event {
+	events := j.Events()
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	return events
+}
+
+// sat subtracts n from seq, saturating at 0.
+func sat(seq uint64, n uint64) uint64 {
+	if seq < n {
+		return 0
+	}
+	return seq - n
+}

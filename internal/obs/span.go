@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// SpanStats accumulates phase timings: call count, wall nanoseconds,
+// and (when Registry.TrackAllocs is set) heap allocations attributed to
+// the phase. Spans exist so BENCH_*.json rows and experiment tables can
+// say *which phase* of a multi-pass run (clock build, detect scan,
+// chain search, batch fan-out) the time and allocations went to.
+type SpanStats struct {
+	mu     sync.Mutex
+	count  int64
+	wallNs int64
+	allocs int64
+	bytes  int64
+}
+
+func (s *SpanStats) add(wall time.Duration, allocs, bytes int64) {
+	s.mu.Lock()
+	s.count++
+	s.wallNs += wall.Nanoseconds()
+	s.allocs += allocs
+	s.bytes += bytes
+	s.mu.Unlock()
+}
+
+func (s *SpanStats) snapshot() (count, wallNs, allocs, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, s.wallNs, s.allocs, s.bytes
+}
+
+// Count returns how many times the span ran.
+func (s *SpanStats) Count() int64 { c, _, _, _ := s.snapshot(); return c }
+
+// Wall returns the accumulated wall time.
+func (s *SpanStats) Wall() time.Duration { _, w, _, _ := s.snapshot(); return time.Duration(w) }
+
+// Allocs returns the accumulated allocation count (0 unless the
+// registry tracks allocations).
+func (s *SpanStats) Allocs() int64 { _, _, a, _ := s.snapshot(); return a }
+
+// Bytes returns the accumulated allocated bytes (0 unless the registry
+// tracks allocations).
+func (s *SpanStats) Bytes() int64 { _, _, _, b := s.snapshot(); return b }
+
+// SpanStats returns (creating if needed) the span name{labels}.
+func (r *Registry) SpanStats(name string, labels ...Label) *SpanStats {
+	if r == nil {
+		return nil
+	}
+	k := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[k]
+	if !ok {
+		s = &SpanStats{}
+		r.spans[k] = s
+	}
+	return s
+}
+
+// allocSpanMu serializes allocation-tracked spans: runtime.ReadMemStats
+// deltas are only attributable when one tracked span runs at a time.
+// Wall-only spans (TrackAllocs unset) take no lock and may run
+// concurrently (the batch layer does).
+var allocSpanMu sync.Mutex
+
+// Span runs fn, charging its wall time — and, when TrackAllocs is set,
+// its heap allocations — to the span name{labels}. On a nil registry
+// fn runs unobserved.
+func (r *Registry) Span(name string, fn func(), labels ...Label) {
+	if r == nil {
+		fn()
+		return
+	}
+	s := r.SpanStats(name, labels...)
+	if !r.TrackAllocs {
+		start := time.Now()
+		fn()
+		s.add(time.Since(start), 0, 0)
+		return
+	}
+	allocSpanMu.Lock()
+	defer allocSpanMu.Unlock()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	s.add(wall, int64(after.Mallocs-before.Mallocs), int64(after.TotalAlloc-before.TotalAlloc))
+}

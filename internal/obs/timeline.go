@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders the journal as a human-readable per-event timeline,
+// one line per event in virtual-time order: the quick look before
+// loading the Chrome trace. limit > 0 keeps only the last `limit`
+// events (the tail is where a violated invariant usually lives).
+func Timeline(j *Journal, limit int) string {
+	events := j.Events()
+	var b strings.Builder
+	if d := j.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "… %d earlier events dropped (ring full)\n", d)
+	}
+	if limit > 0 && len(events) > limit {
+		fmt.Fprintf(&b, "… %d earlier events elided\n", len(events)-limit)
+		events = events[len(events)-limit:]
+	}
+	for _, e := range events {
+		fmt.Fprintf(&b, "t=%-6d P%-3d %s\n", e.At, e.Proc, describe(e))
+	}
+	return b.String()
+}
+
+func describe(e Event) string {
+	switch e.Kind {
+	case KindSend:
+		return fmt.Sprintf("send → P%d (msg %d)", e.A, e.B)
+	case KindRecv:
+		return fmt.Sprintf("recv ← P%d (msg %d)", e.A, e.B)
+	case KindBlock:
+		return "block (" + e.Name + ")"
+	case KindUnblock:
+		return "unblock"
+	case KindWork:
+		return fmt.Sprintf("work %d", e.B)
+	case KindSet:
+		return fmt.Sprintf("set %s := %d", e.Name, e.A)
+	case KindControl, KindMark:
+		s := fmt.Sprintf("%s a=%d b=%d", e.Name, e.A, e.B)
+		if e.VC != nil {
+			s += fmt.Sprintf(" vc=%v", e.VC)
+		}
+		return s
+	}
+	return e.Kind.String()
+}

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"predctl/internal/obs"
 	"predctl/internal/sim"
 )
 
@@ -52,6 +53,15 @@ const (
 	kindCancel               // controller → controller: broadcast loser is released
 	kindApp                  // app → app payload (guard-wrapped)
 )
+
+// ctlEventNames labels controller-to-controller messages in the
+// observability journal (obs.EvCtlPrefix + name).
+var ctlEventNames = map[kind]string{
+	kindReq:     obs.EvCtlPrefix + "req",
+	kindAck:     obs.EvCtlPrefix + "ack",
+	kindConfirm: obs.EvCtlPrefix + "confirm",
+	kindCancel:  obs.EvCtlPrefix + "cancel",
+}
 
 type envelope struct {
 	kind    kind
@@ -104,6 +114,40 @@ type Config struct {
 	// answers scapegoat requests only once it reports NowTrue, and it
 	// cannot be the initial scapegoat. nil means all start true.
 	InitFalse []bool
+	// Journal, when non-nil, receives the kernel's structured events
+	// plus protocol-level control events (ctl.req/ack/confirm/cancel,
+	// scapegoat.init/acquire) consumed by the obs invariant checker.
+	Journal *obs.Journal
+	// Reg, when non-nil, receives the run's protocol metrics
+	// (predctl_ctl_messages_total, predctl_handoffs_total,
+	// predctl_response_vtime, …), each carrying MetricLabels.
+	Reg *obs.Registry
+	// MetricLabels dimensions every metric this run records (e.g.
+	// {proto=scapegoat, n=8}), letting one registry hold a sweep.
+	MetricLabels []obs.Label
+}
+
+// meters is the run's resolved metric set. All fields may be nil (no
+// registry): the obs instruments are nil-safe, so recording sites need
+// no guards.
+type meters struct {
+	ctl      *obs.Counter
+	handoffs *obs.Counter
+	cancels  *obs.Counter
+	requests *obs.Counter
+	resp     *obs.Histogram
+	chain    *obs.Gauge
+}
+
+func newMeters(reg *obs.Registry, labels []obs.Label) meters {
+	return meters{
+		ctl:      reg.Counter("predctl_ctl_messages_total", labels...),
+		handoffs: reg.Counter("predctl_handoffs_total", labels...),
+		cancels:  reg.Counter("predctl_broadcast_cancels_total", labels...),
+		requests: reg.Counter("predctl_requests_total", labels...),
+		resp:     reg.Histogram("predctl_response_vtime", labels...),
+		chain:    reg.Gauge("predctl_scapegoat_chain_length", labels...),
+	}
 }
 
 // Run executes the application bodies under on-line control and returns
@@ -138,18 +182,20 @@ func Run(cfg Config, apps []func(*Guard)) (*sim.Trace, *Stats, error) {
 		return cfg.Delay
 	}
 	stats := &Stats{}
+	m := newMeters(cfg.Reg, cfg.MetricLabels)
 	k := sim.New(sim.Config{
 		Procs:     2 * n,
 		Delay:     delay,
 		Seed:      cfg.Seed,
 		Trace:     cfg.Trace,
 		MaxEvents: cfg.MaxEvents,
+		Journal:   cfg.Journal,
 	})
 	bodies := make([]func(*sim.Proc), 2*n)
 	for i := 0; i < n; i++ {
 		i := i
 		bodies[i] = func(p *sim.Proc) {
-			g := &Guard{p: p, n: n, stats: stats}
+			g := &Guard{p: p, n: n, stats: stats, m: m}
 			apps[i](g)
 		}
 		bodies[n+i] = func(p *sim.Proc) {
@@ -160,11 +206,19 @@ func Run(cfg Config, apps []func(*Guard)) (*sim.Trace, *Stats, error) {
 				localTrue: cfg.InitFalse == nil || !cfg.InitFalse[i],
 				broadcast: cfg.Broadcast,
 				stats:     stats,
+				m:         m,
+			}
+			if c.scapegoat {
+				p.Journal().Append(obs.Event{
+					Proc: p.ID(), Kind: obs.KindControl,
+					Name: obs.EvScapegoatInit, A: int64(i),
+				})
 			}
 			c.run()
 		}
 	}
 	tr, err := k.Run(bodies...)
+	m.chain.Set(int64(stats.Handoffs))
 	return tr, stats, err
 }
 
@@ -174,6 +228,7 @@ type Guard struct {
 	p     *sim.Proc
 	n     int
 	stats *Stats
+	m     meters
 	inbox []appMsg // app messages received while waiting for a grant
 }
 
@@ -207,6 +262,8 @@ func (g *Guard) RequestFalse() sim.Time {
 			d := g.p.Now() - start
 			g.stats.Requests++
 			g.stats.Responses = append(g.stats.Responses, d)
+			g.m.requests.Inc()
+			g.m.resp.Observe(int64(d))
 			return d
 		case kindApp:
 			g.inbox = append(g.inbox, appMsg{from, env.payload})
@@ -256,11 +313,41 @@ type controller struct {
 	pending    []int // controllers whose req awaits our next true period
 	deferred   []int // reqs received while we were waiting for an ack
 	stats      *Stats
+	m          meters
 }
+
+// faultDelayGrant is a test-only fault injection point: when positive,
+// a controller completing a handoff works this long before granting,
+// pushing the response time past the paper's 2T+Emax bound so the obs
+// invariant checker can be shown to trip. Never set outside tests.
+var faultDelayGrant sim.Time
 
 func (c *controller) send(to int, k kind) {
 	c.p.Send(to, envelope{kind: k})
 	c.stats.CtlMessages++
+	c.m.ctl.Inc()
+	if k == kindCancel {
+		c.m.cancels.Inc()
+	}
+	if j := c.p.Journal(); j != nil {
+		j.Append(obs.Event{
+			At: int64(c.p.Now()), Proc: c.p.ID(), Kind: obs.KindControl,
+			Name: ctlEventNames[k], A: int64(to - c.n),
+		})
+	}
+}
+
+// acquired records this controller taking the anti-token from the
+// controller `from` (a sim process id), for the chain invariant. (The
+// handoff *counter* increments beside stats.Handoffs at the releasing
+// side, so metrics mirror Stats exactly.)
+func (c *controller) acquired(from int) {
+	if j := c.p.Journal(); j != nil {
+		j.Append(obs.Event{
+			At: int64(c.p.Now()), Proc: c.p.ID(), Kind: obs.KindControl,
+			Name: obs.EvScapegoatAcquire, A: int64(c.p.ID() - c.n), B: int64(from - c.n),
+		})
+	}
 }
 
 func (c *controller) run() {
@@ -285,8 +372,12 @@ func (c *controller) run() {
 			c.waitingAck = false
 			c.scapegoat = false
 			c.stats.Handoffs++
+			c.m.handoffs.Inc()
 			if c.broadcast {
 				c.send(from, kindConfirm)
+			}
+			if faultDelayGrant > 0 {
+				c.p.Work(faultDelayGrant) // test-only: break the 2T+Emax bound
 			}
 			c.grant(app)
 			for _, j := range c.deferred {
@@ -303,6 +394,7 @@ func (c *controller) run() {
 			c.handleReq(from)
 		case kindConfirm:
 			c.scapegoat = true
+			c.acquired(from)
 			c.tentative--
 			c.maybeProceed(app)
 		case kindCancel:
@@ -366,5 +458,6 @@ func (c *controller) handleReq(j int) {
 		return
 	}
 	c.scapegoat = true
+	c.acquired(j)
 	c.send(j, kindAck)
 }

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"predctl/internal/deposet"
+	"predctl/internal/obs"
 )
 
 // Time is virtual time, in abstract units.
@@ -63,6 +64,12 @@ type Config struct {
 	FIFO bool
 	// MaxEvents caps kernel events as a runaway guard; 0 means 10^7.
 	MaxEvents int
+	// Journal, when non-nil, receives a structured observability event
+	// for every send, receive, block/unblock, work step and variable
+	// assignment (virtual time, process id, operands); see internal/obs
+	// for the exporters. nil (the default) records nothing and adds no
+	// allocations to the kernel paths.
+	Journal *obs.Journal
 }
 
 // Stats summarizes a run.
@@ -346,6 +353,13 @@ func (p *Proc) Now() Time { return p.now }
 // Rand is a per-process deterministic random source.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
 
+// Journal returns the run's observability journal (nil when tracing is
+// off). Protocol layers stacked on the simulator (internal/online,
+// internal/monitor) use it to record protocol-level events alongside
+// the kernel's; *obs.Journal methods are nil-safe, so the result can be
+// used unconditionally.
+func (p *Proc) Journal() *obs.Journal { return p.k.cfg.Journal }
+
 // Send dispatches payload to process `to`; it does not block. The
 // message arrives after the configured delay.
 func (p *Proc) Send(to int, payload any) {
@@ -373,6 +387,9 @@ func (p *Proc) Send(to int, payload any) {
 		m.handle = h
 		p.k.times[p.id] = append(p.k.times[p.id], p.now)
 	}
+	if j := p.k.cfg.Journal; j != nil {
+		j.Append(obs.Event{At: int64(p.now), Proc: p.id, Kind: obs.KindSend, A: int64(to), B: int64(m.seq)})
+	}
 	p.k.stats.Messages++
 	heap.Push(&p.k.events, event{at: m.arrival, seq: m.seq, proc: to, msg: m})
 }
@@ -380,14 +397,26 @@ func (p *Proc) Send(to int, payload any) {
 // Recv blocks until a message is available and returns its sender and
 // payload, in arrival order.
 func (p *Proc) Recv() (from int, payload any) {
+	j := p.k.cfg.Journal
+	blocked := false
 	for len(p.avail) == 0 {
+		if j != nil && !blocked {
+			blocked = true
+			j.Append(obs.Event{At: int64(p.now), Proc: p.id, Kind: obs.KindBlock, Name: "recv"})
+		}
 		p.yield(blockedRecv, "recv")
+	}
+	if blocked {
+		j.Append(obs.Event{At: int64(p.now), Proc: p.id, Kind: obs.KindUnblock})
 	}
 	m := p.avail[0]
 	p.avail = p.avail[1:]
 	if b := p.k.builder; b != nil {
 		b.Recv(p.id, m.handle)
 		p.k.times[p.id] = append(p.k.times[p.id], p.now)
+	}
+	if j != nil {
+		j.Append(obs.Event{At: int64(p.now), Proc: p.id, Kind: obs.KindRecv, A: int64(m.from), B: int64(m.seq)})
 	}
 	return m.from, m.payload
 }
@@ -406,6 +435,9 @@ func (p *Proc) Work(d Time) {
 	if d < 0 {
 		panic("sim: negative work duration")
 	}
+	if j := p.k.cfg.Journal; j != nil {
+		j.Append(obs.Event{At: int64(p.now), Proc: p.id, Kind: obs.KindWork, B: int64(d)})
+	}
 	heap.Push(&p.k.events, event{at: p.now + d, seq: p.k.nextSeq(), proc: p.id})
 	p.yield(ready, "work")
 }
@@ -421,10 +453,14 @@ func (p *Proc) Tick() {
 
 // Let assigns a state variable at the process's *current* traced state
 // without recording an event; use Set for the common "event that changes
-// a variable" case.
+// a variable" case. Assignments are journalled as predicate-flip events
+// (KindSet) even when deposet tracing is off.
 func (p *Proc) Let(name string, v int) {
 	if b := p.k.builder; b != nil {
 		b.Let(p.id, name, v)
+	}
+	if j := p.k.cfg.Journal; j != nil {
+		j.Append(obs.Event{At: int64(p.now), Proc: p.id, Kind: obs.KindSet, Name: name, A: int64(v)})
 	}
 }
 
@@ -440,6 +476,9 @@ func (p *Proc) Set(name string, v int) {
 func (p *Proc) Init(name string, v int) {
 	if b := p.k.builder; b != nil {
 		b.Let(p.id, name, v)
+	}
+	if j := p.k.cfg.Journal; j != nil {
+		j.Append(obs.Event{At: int64(p.now), Proc: p.id, Kind: obs.KindSet, Name: name, A: int64(v)})
 	}
 }
 
