@@ -12,6 +12,8 @@
 //	pctl sgsd    -pred pred.json trace.json
 //	pctl reduce  trace.json
 //	pctl trace   -n 3 -rounds 4 -o run-chrome.json
+//	pctl cluster -n 5 -drop 0.2 -delay 2ms -o run.json -pred-o pred.json
+//	pctl node    -id 0 -n 3 -addrs :7001,:7002,:7003 -coord host:7000
 //
 // Trace files are the JSON format of predctl's trace package; predicate
 // files describe B = l1 ∨ … ∨ ln over state variables:
@@ -49,7 +51,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pctl <gen|info|detect|control|replay|sgsd|reduce|trace> [flags] [trace.json]")
+		return errors.New("usage: pctl <gen|info|detect|control|replay|sgsd|reduce|trace|cluster|node> [flags] [trace.json]")
 	}
 	switch args[0] {
 	case "gen":
@@ -68,6 +70,10 @@ func run(args []string) error {
 		return cmdReduce(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
+	case "cluster":
+		return cmdCluster(args[1:])
+	case "node":
+		return cmdNode(args[1:])
 	}
 	return fmt.Errorf("unknown command %q", args[0])
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
@@ -75,6 +77,48 @@ func TestCLIEndToEnd(t *testing.T) {
 	out, err = runCLI(t, "sgsd", "-pred", pred, trace)
 	if err != nil || !strings.Contains(out, "explored") {
 		t.Fatalf("sgsd: %v\n%s", err, out)
+	}
+}
+
+// TestCLIDispatch proves every advertised subcommand name reaches its
+// flag set: `-h` must come back as flag.ErrHelp (the subcommand parsed
+// it), never as "unknown command". Keep the list in sync with run()
+// and the usage block.
+func TestCLIDispatch(t *testing.T) {
+	subcommands := []string{
+		"gen", "info", "detect", "control", "replay", "sgsd", "reduce",
+		"trace", "cluster", "node",
+	}
+	for _, name := range subcommands {
+		if _, err := runCLI(t, name, "-h"); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("%s -h: got %v, want flag.ErrHelp (subcommand not dispatched?)", name, err)
+		}
+	}
+}
+
+// TestCLICluster runs the networked anti-token workload end to end over
+// localhost TCP with seeded fault injection, then feeds the captured
+// trace back through `pctl replay` — the loop the trace capture exists
+// for.
+func TestCLICluster(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "cluster.json")
+	predFile := filepath.Join(dir, "pred.json")
+
+	out, err := runCLI(t, "cluster", "-n", "3", "-rounds", "2",
+		"-think", "2ms", "-cs", "1ms",
+		"-drop", "0.2", "-dup", "0.1", "-delay", "2ms", "-jitter", "1ms", "-fault-seed", "7",
+		"-o", traceFile, "-pred-o", predFile)
+	if err != nil {
+		t.Fatalf("cluster: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "invariants ok") {
+		t.Fatalf("cluster did not report invariants:\n%s", out)
+	}
+
+	out, err = runCLI(t, "replay", "-pred", predFile, "-seed", "3", traceFile)
+	if err != nil || !strings.Contains(out, "verified") {
+		t.Fatalf("replay of captured cluster trace: %v\n%s", err, out)
 	}
 }
 

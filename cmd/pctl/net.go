@@ -1,0 +1,213 @@
+package main
+
+// net.go: the networked-runtime subcommands. `pctl cluster` runs an
+// n-node anti-token cluster over localhost TCP in one process — the
+// quickest way to see online predicate control on a real network —
+// while `pctl node` runs a single daemon (or, with -id -1, the
+// coordinator), for spreading the same cluster across processes or
+// machines.
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"predctl/internal/node"
+	"predctl/internal/obs"
+	"predctl/internal/trace"
+)
+
+// faultFlags registers the fault-injection shim's flags.
+func faultFlags(fs *flag.FlagSet) *node.Faults {
+	f := &node.Faults{}
+	fs.Float64Var(&f.Drop, "drop", 0, "probability a protocol frame write is dropped")
+	fs.Float64Var(&f.Dup, "dup", 0, "probability a protocol frame is written twice")
+	fs.DurationVar(&f.Delay, "delay", 0, "fixed latency before every protocol frame write")
+	fs.DurationVar(&f.Jitter, "jitter", 0, "extra uniform random latency in [0, jitter)")
+	fs.Int64Var(&f.Seed, "fault-seed", 1, "seed of the per-link fault decision streams")
+	return f
+}
+
+// csPredicate is the cluster workload's control predicate B = ∨ᵢ ¬csᵢ
+// as a spec over the captured 2n-process trace (apps are 0..n-1).
+func csPredicate(n int) trace.DisjunctionSpec {
+	var spec trace.DisjunctionSpec
+	for i := 0; i < n; i++ {
+		spec.Locals = append(spec.Locals, trace.LocalSpec{P: i, Var: "cs", Op: "eq", Value: 0})
+	}
+	return spec
+}
+
+// clusterInvariants runs the paper-bound checks on a networked run's
+// merged journal and metrics.
+func clusterInvariants(j *obs.Journal, reg *obs.Registry, delay time.Duration) error {
+	var rep obs.Report
+	rep.CheckScapegoatChainNet(j)
+	if delay > 0 {
+		// Handoff grants pay two shimmed hops; the window floor is 2×
+		// the injected delay, the ceiling generous (wall clocks include
+		// retransmissions and scheduling).
+		rep.CheckResponsesWindow(reg.Histogram("predctl_response_handoff_ns"),
+			2*delay.Nanoseconds(), (60 * time.Second).Nanoseconds(), j)
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("invariants ok: %d checked, 0 violated\n", len(rep.Checked))
+	return nil
+}
+
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+	n := fs.Int("n", 3, "nodes (one application process each)")
+	rounds := fs.Int("rounds", 3, "critical sections per process")
+	think := fs.Duration("think", 3*time.Millisecond, "mean think time between critical sections")
+	cs := fs.Duration("cs", time.Millisecond, "critical-section duration")
+	broadcast := fs.Bool("broadcast", false, "use the broadcast handoff variant")
+	seed := fs.Int64("seed", 1998, "workload seed")
+	scapegoat := fs.Int("scapegoat", 0, "initial anti-token holder")
+	out := fs.String("o", "", "write the captured deposet trace here (pctl replay/detect/control consume it)")
+	predOut := fs.String("pred-o", "", "write the workload's control predicate spec here")
+	metrics := fs.Bool("metrics", false, "dump protocol metrics in Prometheus text format")
+	timeline := fs.Int("timeline", 0, "print the last N merged journal events")
+	faults := faultFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return errors.New("cluster takes no trace-file argument: it generates its own run")
+	}
+
+	j := obs.NewJournal(0)
+	reg := obs.NewRegistry()
+	res, err := node.RunCluster(node.ClusterConfig{
+		N: *n, Rounds: *rounds, Think: *think, CS: *cs,
+		Broadcast: *broadcast, Scapegoat: *scapegoat, Seed: *seed,
+		Faults: *faults, Journal: j, Reg: reg,
+	})
+	if err != nil {
+		return err
+	}
+	requests, handoffs, ctl := 0, 0, 0
+	for _, s := range res.Stats {
+		requests += s.Requests
+		handoffs += s.Handoffs
+		ctl += s.CtlMessages
+	}
+	fmt.Printf("cluster: n=%d rounds=%d seed=%d broadcast=%v faults{drop=%.2f dup=%.2f delay=%v}\n",
+		*n, *rounds, *seed, *broadcast, faults.Drop, faults.Dup, faults.Delay)
+	fmt.Printf("run: %d CS entries, %d handoffs, %d ctl messages, %d candidates\n",
+		requests, handoffs, ctl, res.Candidates)
+	d := res.Deposet
+	fmt.Printf("captured: %d processes (%d apps + %d controllers), %d states, %d messages\n",
+		d.NumProcs(), *n, *n, d.NumStates(), len(d.Messages()))
+
+	if *timeline > 0 {
+		fmt.Print(obs.Timeline(j, *timeline))
+	}
+	if *metrics {
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if err := clusterInvariants(j, reg, faults.Delay); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := writeTrace(*out, d, nil); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *predOut != "" {
+		f, err := os.Create(*predOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.EncodeDisjunction(f, csPredicate(*n)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *predOut)
+	}
+	return nil
+}
+
+func cmdNode(args []string) error {
+	fs := flag.NewFlagSet("node", flag.ContinueOnError)
+	id := fs.Int("id", 0, "node id (0..n-1), or -1 to run the coordinator")
+	n := fs.Int("n", 3, "cluster size")
+	addrList := fs.String("addrs", "", "comma-separated node listen addresses, one per id (required for nodes)")
+	coord := fs.String("coord", "", "coordinator address (nodes) / listen address (coordinator)")
+	rounds := fs.Int("rounds", 3, "critical sections")
+	think := fs.Duration("think", 3*time.Millisecond, "mean think time")
+	cs := fs.Duration("cs", time.Millisecond, "critical-section duration")
+	broadcast := fs.Bool("broadcast", false, "use the broadcast handoff variant")
+	seed := fs.Int64("seed", 1998, "workload seed")
+	scapegoat := fs.Int("scapegoat", 0, "initial anti-token holder")
+	out := fs.String("o", "", "coordinator: write the captured trace here")
+	wait := fs.Duration("wait", 2*time.Minute, "coordinator: how long to wait for the cluster")
+	faults := faultFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coord == "" {
+		return errors.New("node: -coord is required")
+	}
+
+	if *id < 0 {
+		j := obs.NewJournal(0)
+		reg := obs.NewRegistry()
+		c, err := node.NewCoordinator(node.CoordConfig{
+			N: *n, Addr: *coord, Journal: j, Reg: reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		fmt.Printf("coordinator listening on %s for %d nodes\n", c.Addr(), *n)
+		res, err := c.Wait(*wait)
+		if err != nil {
+			return err
+		}
+		requests, handoffs := 0, 0
+		for _, s := range res.Stats {
+			requests += s.Requests
+			handoffs += s.Handoffs
+		}
+		fmt.Printf("run: %d CS entries, %d handoffs, %d candidates\n", requests, handoffs, res.Candidates)
+		if err := clusterInvariants(j, reg, faults.Delay); err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := writeTrace(*out, res.Deposet, nil); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		return nil
+	}
+
+	addrs := strings.Split(*addrList, ",")
+	if len(addrs) != *n {
+		return fmt.Errorf("node: -addrs has %d entries for n=%d", len(addrs), *n)
+	}
+	stats, err := node.Run(node.Config{
+		ID: *id, N: *n, Addrs: addrs, Coord: *coord,
+		Scapegoat: *scapegoat, Broadcast: *broadcast,
+		Rounds: *rounds, Think: *think, CS: *cs,
+		Seed: *seed, Faults: *faults,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d done: %d requests, %d handoffs, %d ctl messages\n",
+		*id, stats.Requests, stats.Handoffs, stats.CtlMessages)
+	return nil
+}

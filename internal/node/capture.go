@@ -1,0 +1,184 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"predctl/internal/deposet"
+	"predctl/internal/vclock"
+	"predctl/internal/wire"
+)
+
+// capture.go: the node side of trace capture. A networked run is
+// recorded as the *same* deposet a sim run with Trace on would produce
+// — logical processes 0..n-1 are the applications, n..2n-1 their
+// controllers, and every protocol message (including the local
+// app↔controller hops) is a deposet message — so pctl replay, detect
+// and offline control consume a captured cluster run unchanged.
+//
+// Each node appends deposet-building ops for its two logical processes
+// in their local event order and streams them to the coordinator in
+// wire.Trace batches; the coordinator replays all ops through a
+// deposet.Builder (assemble, below), matching sends to receives by the
+// globally unique TraceID minted at each send.
+
+// capture accumulates a node's trace ops between flushes. App and
+// controller goroutines append concurrently; per-process op order is
+// each goroutine's own program order, which is exactly the per-process
+// event order the deposet needs.
+type capture struct {
+	mu       sync.Mutex
+	enabled  bool
+	ops      []wire.TraceOp
+	appState int    // app-process traced state index (0 = ⊥)
+	nextMsg  uint64 // per-node message counter for TraceIDs
+}
+
+// msgID mints a globally unique trace id for a message sent by logical
+// process proc.
+func (c *capture) msgID(proc int) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextMsg++
+	return uint64(proc)<<40 | c.nextMsg
+}
+
+func (c *capture) append(op wire.TraceOp) {
+	if !c.enabled {
+		return
+	}
+	c.mu.Lock()
+	c.ops = append(c.ops, op)
+	c.mu.Unlock()
+}
+
+// appendApp appends an op for the app process and returns the app's
+// new traced state index (Init does not advance it).
+func (c *capture) appendApp(op wire.TraceOp) int {
+	if !c.enabled {
+		return -1
+	}
+	c.mu.Lock()
+	c.ops = append(c.ops, op)
+	if op.Op != wire.TraceInit && op.Op != wire.TraceLet {
+		c.appState++
+	}
+	s := c.appState
+	c.mu.Unlock()
+	return s
+}
+
+// take removes and returns the buffered ops.
+func (c *capture) take() []wire.TraceOp {
+	c.mu.Lock()
+	ops := c.ops
+	c.ops = nil
+	c.mu.Unlock()
+	return ops
+}
+
+// clock is the node-level Fidge–Mattern vector clock (one component
+// per node, counting that node's protocol events), shared by the app
+// and controller goroutines and piggybacked on every remote message.
+type clock struct {
+	mu sync.Mutex
+	vc vclock.VC
+}
+
+func newClock(n, id int) *clock {
+	c := &clock{vc: make(vclock.VC, n)}
+	return c
+}
+
+// tick advances the local component and returns a snapshot.
+func (c *clock) tick(id int) vclock.VC {
+	c.mu.Lock()
+	c.vc[id]++
+	s := c.vc.Clone()
+	c.mu.Unlock()
+	return s
+}
+
+// snapshot returns a copy of the current clock without advancing it.
+func (c *clock) snapshot() vclock.VC {
+	c.mu.Lock()
+	s := c.vc.Clone()
+	c.mu.Unlock()
+	return s
+}
+
+// observe merges a received clock, then ticks, returning a snapshot.
+func (c *clock) observe(id int, other []int32) vclock.VC {
+	c.mu.Lock()
+	if len(other) == len(c.vc) {
+		c.vc.Merge(vclock.VC(other))
+	}
+	c.vc[id]++
+	s := c.vc.Clone()
+	c.mu.Unlock()
+	return s
+}
+
+// assemble replays captured trace ops through a deposet.Builder. Ops
+// arrive bucketed by logical process in per-process order; sends and
+// receives are matched by TraceID. Processing is a topological sweep:
+// a receive waits until the matching send has been replayed, which
+// must eventually happen in any causally consistent capture — if the
+// sweep wedges, the capture is corrupt and the error says where.
+// Sends with no matching receive become in-flight messages, exactly
+// like a sim trace cut at teardown.
+func assemble(n int, opsByProc [][]wire.TraceOp) (*deposet.Deposet, error) {
+	if len(opsByProc) != 2*n {
+		return nil, fmt.Errorf("node: assemble: %d op streams for %d processes", len(opsByProc), 2*n)
+	}
+	b := deposet.NewBuilder(2 * n)
+	handles := make(map[uint64]deposet.MsgHandle)
+	cursor := make([]int, 2*n)
+	for {
+		progress := false
+		for p := 0; p < 2*n; p++ {
+		ops:
+			for cursor[p] < len(opsByProc[p]) {
+				op := opsByProc[p][cursor[p]]
+				switch op.Op {
+				case wire.TraceInit:
+					b.Let(p, op.Name, int(op.Value))
+				case wire.TraceStep:
+					b.Step(p)
+				case wire.TraceLet:
+					b.Let(p, op.Name, int(op.Value))
+				case wire.TraceSet:
+					b.Step(p)
+					b.Let(p, op.Name, int(op.Value))
+				case wire.TraceSend:
+					_, h := b.Send(p)
+					if _, dup := handles[op.MsgID]; dup {
+						return nil, fmt.Errorf("node: assemble: duplicate trace id %#x", op.MsgID)
+					}
+					handles[op.MsgID] = h
+				case wire.TraceRecv:
+					h, ok := handles[op.MsgID]
+					if !ok {
+						break ops // matching send not replayed yet
+					}
+					b.Recv(p, h)
+				default:
+					return nil, fmt.Errorf("node: assemble: unknown trace op %d", op.Op)
+				}
+				cursor[p]++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for p := 0; p < 2*n; p++ {
+		if cursor[p] < len(opsByProc[p]) {
+			op := opsByProc[p][cursor[p]]
+			return nil, fmt.Errorf("node: assemble: process %d wedged at op %d (recv of unknown message %#x)",
+				p, cursor[p], op.MsgID)
+		}
+	}
+	return b.Build()
+}

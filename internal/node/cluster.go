@@ -1,0 +1,104 @@
+package node
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"predctl/internal/obs"
+)
+
+// ClusterConfig parameterizes an in-process cluster run: n node daemons
+// plus a coordinator, all over localhost TCP. In-process is the test
+// and demo harness; the daemons themselves are oblivious to it — pctl
+// node runs the identical Config against remote addresses.
+type ClusterConfig struct {
+	N         int
+	Rounds    int
+	Think     time.Duration
+	CS        time.Duration
+	Broadcast bool
+	Scapegoat int
+	Seed      int64
+	Faults    Faults
+	Timeouts  Timeouts
+	// Journal receives the coordinator's merged cluster journal (nodes'
+	// control events and candidates). May be nil.
+	Journal      *obs.Journal
+	Reg          *obs.Registry
+	MetricLabels []obs.Label
+	Logf         func(string, ...any)
+	// WaitTimeout bounds the whole run; 0 means a generous default.
+	WaitTimeout time.Duration
+}
+
+// RunCluster executes the anti-token (n−1)-mutex workload on a cluster
+// of TCP node daemons and returns the coordinator's view: the captured
+// deposet trace, per-node tallies, and candidate count.
+func RunCluster(cfg ClusterConfig) (*Result, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("node: cluster needs n ≥ 2, got %d", cfg.N)
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.WaitTimeout == 0 {
+		cfg.WaitTimeout = 2 * time.Minute
+	}
+
+	// Bind every listener up front so the address list is complete
+	// before any node dials a peer.
+	listeners := make([]net.Listener, cfg.N)
+	addrs := make([]string, cfg.N)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("node: cluster listen: %w", err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	coord, err := NewCoordinator(CoordConfig{
+		N: cfg.N, Addr: "127.0.0.1:0",
+		Journal: cfg.Journal, Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
+		Timeouts: cfg.Timeouts, Logf: cfg.Logf,
+	})
+	if err != nil {
+		for _, l := range listeners {
+			l.Close()
+		}
+		return nil, err
+	}
+	defer coord.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Run(Config{
+				ID: i, N: cfg.N, Addrs: addrs, Coord: coord.Addr(),
+				Scapegoat: cfg.Scapegoat, Broadcast: cfg.Broadcast,
+				Rounds: cfg.Rounds, Think: cfg.Think, CS: cfg.CS,
+				Seed: cfg.Seed, Faults: cfg.Faults, Timeouts: cfg.Timeouts,
+				Listener: listeners[i],
+				Reg:      cfg.Reg, MetricLabels: cfg.MetricLabels,
+				Logf: cfg.Logf, Start: start,
+			})
+		}(i)
+	}
+	res, werr := coord.Wait(cfg.WaitTimeout)
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("node %d: %w", i, e)
+		}
+	}
+	return res, werr
+}

@@ -1,0 +1,382 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"predctl/internal/deposet"
+	"predctl/internal/obs"
+	"predctl/internal/wire"
+)
+
+// coordClient is a node's stream to the coordinator: Hello, then trace
+// batches, forwarded journal events, candidates and Done frames out;
+// Shutdown in. The stream rides plain TCP — it is exempt from the fault
+// shim (perturbing the capture would test the harness, not the
+// protocol) so no ARQ is layered on it.
+type coordClient struct {
+	conn       net.Conn
+	mu         sync.Mutex // serializes writes
+	seq        uint64
+	opt        Timeouts
+	logf       func(string, ...any)
+	shutdownCh chan struct{} // closed when the coordinator says stop (or vanishes)
+	closeOnce  sync.Once
+}
+
+// dialCoord connects to the coordinator, retrying while it comes up.
+func dialCoord(addr string, id, n int, opt Timeouts, logf func(string, ...any)) (*coordClient, error) {
+	var conn net.Conn
+	var err error
+	deadline := time.Now().Add(opt.DialTimeout * 5)
+	for {
+		conn, err = net.DialTimeout("tcp", addr, opt.DialTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("node %d: coordinator %s: %w", id, addr, err)
+		}
+		time.Sleep(opt.BackoffMin)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cc := &coordClient{conn: conn, opt: opt, logf: logf, shutdownCh: make(chan struct{})}
+	cc.send(wire.Hello{From: int32(id), N: int32(n)})
+	go cc.reader(id)
+	return cc, nil
+}
+
+// reader watches for the coordinator's Shutdown; a broken stream counts
+// as one (a node without its coordinator has nowhere to report to).
+func (cc *coordClient) reader(id int) {
+	br := bufReader(cc.conn)
+	for {
+		_, m, err := wire.ReadFrame(br)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				cc.logf("node %d: coordinator stream: %v", id, err)
+			}
+			cc.signalShutdown()
+			return
+		}
+		if _, ok := m.(wire.Shutdown); ok {
+			cc.signalShutdown()
+			return
+		}
+	}
+}
+
+func (cc *coordClient) signalShutdown() {
+	cc.closeOnce.Do(func() { close(cc.shutdownCh) })
+}
+
+// send writes one frame; errors are logged, not fatal — the run is
+// ending anyway if the coordinator is gone, via reader above.
+func (cc *coordClient) send(m wire.Msg) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.seq++
+	cc.conn.SetWriteDeadline(time.Now().Add(cc.opt.WriteTimeout))
+	if err := wire.WriteFrame(cc.conn, cc.seq, m); err != nil && !errors.Is(err, net.ErrClosed) {
+		cc.logf("node: coordinator write: %v", err)
+	}
+}
+
+// sendJournal forwards one journal event. Nil-safe like the journal
+// itself so instrumentation sites need no guards.
+func (cc *coordClient) sendJournal(e obs.Event) {
+	if cc == nil {
+		return
+	}
+	cc.send(wire.JournalEvent{
+		At: e.At, Proc: int32(e.Proc), Kind: uint8(e.Kind), Name: e.Name,
+		A: e.A, B: e.B, C: e.C, VC: e.VC,
+	})
+}
+
+func (cc *coordClient) close() { cc.conn.Close() }
+
+// CoordConfig parameterizes the cluster coordinator.
+type CoordConfig struct {
+	N        int
+	Addr     string       // listen address (ignored when Listener is set)
+	Listener net.Listener // optional pre-bound listener
+	// Journal receives the merged cluster journal: every control event
+	// forwarded by every node, plus candidate reports. May be nil.
+	Journal      *obs.Journal
+	Reg          *obs.Registry
+	MetricLabels []obs.Label
+	Timeouts     Timeouts
+	Logf         func(string, ...any)
+}
+
+// Result is a completed cluster run as the coordinator saw it.
+type Result struct {
+	// Deposet is the captured run — apps 0..n-1, controllers n..2n-1,
+	// the layout sim traces use — consumable by replay/detect/offline.
+	Deposet *deposet.Deposet
+	// Stats holds each node's final tallies.
+	Stats []Stats
+	// Candidates counts monitor candidate reports received.
+	Candidates int
+}
+
+// Coordinator collects the capture streams of a node cluster and
+// reassembles them into a deposet trace plus a merged journal. Protocol
+// flow: nodes connect and stream; after all N report Done the
+// coordinator broadcasts Shutdown; each node final-flushes and echoes
+// Shutdown as its bye; when every bye is in, Wait assembles the trace.
+type Coordinator struct {
+	n       int
+	ln      net.Listener
+	journal *obs.Journal
+	cands   *obs.Counter
+	opt     Timeouts
+	logf    func(string, ...any)
+
+	mu         sync.Mutex
+	ops        [][]wire.TraceOp // by logical process 0..2n-1
+	stats      []Stats
+	candidates int
+	doneSeen   []bool
+	doneCount  int
+	byeCount   int
+	conns      map[int]net.Conn
+
+	shutdownOnce sync.Once
+	allByes      chan struct{}
+	closed       chan struct{}
+	wg           sync.WaitGroup
+}
+
+// NewCoordinator starts a coordinator for an n-node cluster.
+func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("node: coordinator needs n ≥ 2, got %d", cfg.N)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("node: coordinator listen %s: %w", cfg.Addr, err)
+		}
+	}
+	c := &Coordinator{
+		n:        cfg.N,
+		ln:       ln,
+		journal:  cfg.Journal,
+		cands:    cfg.Reg.Counter("predctl_monitor_candidates_total", cfg.MetricLabels...),
+		opt:      cfg.Timeouts.withDefaults(),
+		logf:     logf,
+		ops:      make([][]wire.TraceOp, 2*cfg.N),
+		stats:    make([]Stats, cfg.N),
+		doneSeen: make([]bool, cfg.N),
+		conns:    map[int]net.Conn{},
+		allByes:  make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Wait blocks until every node's capture stream completed (or timeout),
+// then assembles and returns the run.
+func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
+	select {
+	case <-c.allByes:
+	case <-time.After(timeout):
+		c.Close()
+		c.mu.Lock()
+		done, byes := c.doneCount, c.byeCount
+		c.mu.Unlock()
+		return nil, fmt.Errorf("node: coordinator timed out after %v (%d/%d done, %d/%d byes)",
+			timeout, done, c.n, byes, c.n)
+	}
+	c.Close()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, err := assemble(c.n, c.ops)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Deposet:    d,
+		Stats:      append([]Stats(nil), c.stats...),
+		Candidates: c.candidates,
+	}, nil
+}
+
+// Close shuts the coordinator's listener and connections down.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.closed:
+		return
+	default:
+		close(c.closed)
+	}
+	c.ln.Close()
+	c.mu.Lock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			select {
+			case <-c.closed:
+			default:
+				c.logf("coordinator: accept: %v", err)
+			}
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.handleNode(conn)
+		}()
+	}
+}
+
+// handleNode serves one node's capture stream.
+func (c *Coordinator) handleNode(conn net.Conn) {
+	defer conn.Close()
+	br := bufReader(conn)
+	conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
+	_, first, err := wire.ReadFrame(br)
+	if err != nil {
+		c.logf("coordinator: handshake: %v", err)
+		return
+	}
+	hello, ok := first.(wire.Hello)
+	if !ok || int(hello.N) != c.n || hello.From < 0 || int(hello.From) >= c.n {
+		c.logf("coordinator: bad hello %#v", first)
+		return
+	}
+	id := int(hello.From)
+	c.mu.Lock()
+	c.conns[id] = conn
+	c.mu.Unlock()
+	for {
+		// Generous read deadline: nodes stream continuously while alive,
+		// and a wedged node should fail the run loudly, not hang it.
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		_, m, err := wire.ReadFrame(br)
+		if err != nil {
+			select {
+			case <-c.closed:
+			default:
+				if !errors.Is(err, net.ErrClosed) {
+					c.logf("coordinator: node %d stream: %v", id, err)
+				}
+			}
+			return
+		}
+		if bye := c.consume(id, m); bye {
+			return
+		}
+	}
+}
+
+// consume folds one frame from node id into the coordinator state,
+// reporting whether it was the node's final bye.
+func (c *Coordinator) consume(id int, m wire.Msg) (bye bool) {
+	switch v := m.(type) {
+	case wire.Trace:
+		c.mu.Lock()
+		for _, op := range v.Ops {
+			p := int(op.Proc)
+			if p < 0 || p >= 2*c.n {
+				c.logf("coordinator: node %d: trace op for process %d dropped", id, p)
+				continue
+			}
+			c.ops[p] = append(c.ops[p], op)
+		}
+		c.mu.Unlock()
+	case wire.JournalEvent:
+		c.journal.Append(obs.Event{
+			At: v.At, Proc: int(v.Proc), Kind: obs.Kind(v.Kind), Name: v.Name,
+			A: v.A, B: v.B, C: v.C, VC: v.VC,
+		})
+	case wire.Candidate:
+		c.cands.Inc()
+		c.mu.Lock()
+		c.candidates++
+		c.mu.Unlock()
+		c.journal.Append(obs.Event{
+			Proc: int(v.Proc), Kind: obs.KindControl, Name: "monitor.candidate",
+			A: v.LoIdx, B: v.HiIdx, VC: v.Hi,
+		})
+	case wire.Done:
+		c.mu.Lock()
+		c.stats[id] = Stats{
+			Requests:    int(v.Requests),
+			Handoffs:    int(v.Handoffs),
+			CtlMessages: int(v.CtlMessages),
+		}
+		for _, ns := range v.Responses {
+			c.stats[id].Responses = append(c.stats[id].Responses, time.Duration(ns))
+		}
+		first := !c.doneSeen[id]
+		if first {
+			c.doneSeen[id] = true
+			c.doneCount++
+		}
+		all := c.doneCount == c.n
+		c.mu.Unlock()
+		if first && all {
+			c.broadcastShutdown()
+		}
+	case wire.Shutdown:
+		c.mu.Lock()
+		c.byeCount++
+		all := c.byeCount == c.n
+		c.mu.Unlock()
+		if all {
+			close(c.allByes)
+		}
+		return true
+	default:
+		c.logf("coordinator: node %d: unexpected %T", id, m)
+	}
+	return false
+}
+
+// broadcastShutdown tells every node the cluster is done. Exactly one
+// broadcast per run; it is the only coordinator→node write, so no
+// per-connection write serialization is needed.
+func (c *Coordinator) broadcastShutdown() {
+	c.shutdownOnce.Do(func() {
+		c.mu.Lock()
+		conns := make([]net.Conn, 0, len(c.conns))
+		for _, conn := range c.conns {
+			conns = append(conns, conn)
+		}
+		c.mu.Unlock()
+		for _, conn := range conns {
+			conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
+			if err := wire.WriteFrame(conn, 0, wire.Shutdown{}); err != nil {
+				c.logf("coordinator: shutdown write: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package node
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Faults is the link-level fault-injection shim: every attempt to put a
+// sequenced frame on the wire may be dropped, duplicated or delayed,
+// with decisions drawn from a deterministic per-link random stream
+// seeded by (Seed, from, to). Because the reliable link retransmits
+// unacknowledged frames and the receiver deduplicates by sequence
+// number, a run with faults enabled still delivers every protocol
+// message exactly once, in order — the shim exercises the recovery
+// machinery without changing protocol semantics, which is what makes
+// robustness testable.
+//
+// The shim applies only to node↔node protocol traffic. Link-control
+// frames (Hello, LinkAck) and the coordinator capture stream are
+// exempt: acks are idempotent and self-healing anyway, and perturbing
+// the trace capture would test the harness, not the protocol.
+type Faults struct {
+	// Drop is the probability a write attempt is silently skipped. The
+	// frame stays unacknowledged and is retransmitted, so Drop < 1
+	// delays but never loses a message.
+	Drop float64
+	// Dup is the probability a written frame is written twice. The
+	// receiver's dedup discards the copy.
+	Dup float64
+	// Delay is a fixed latency added before every sequenced write — the
+	// networked stand-in for the paper's message delay T.
+	Delay time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Seed makes the decision streams reproducible. Two runs with the
+	// same Seed, topology and send pattern make identical choices.
+	Seed int64
+}
+
+// enabled reports whether the shim would ever perturb a write.
+func (f Faults) enabled() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Delay > 0 || f.Jitter > 0
+}
+
+// faultRand is one link's decision stream. Writer-goroutine-local: the
+// link's single writer draws all decisions, so no locking is needed and
+// the stream order is exactly the write-attempt order.
+type faultRand struct {
+	f   Faults
+	rng *rand.Rand
+}
+
+// newFaultRand derives the (from, to) link's stream from the run seed
+// with a splitmix64 finalizer, mirroring sim.procSeed: nearby seeds and
+// nearby link indices must not produce correlated streams.
+func newFaultRand(f Faults, from, to int) *faultRand {
+	if !f.enabled() {
+		return nil
+	}
+	z := uint64(f.Seed) + uint64(from+1)*0x9e3779b97f4a7c15 + uint64(to+1)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &faultRand{f: f, rng: rand.New(rand.NewSource(int64(z ^ (z >> 31))))}
+}
+
+// decision is the shim's verdict for one write attempt.
+type decision struct {
+	drop  bool
+	dup   bool
+	delay time.Duration
+}
+
+// next draws the verdict for the next write attempt. A nil receiver
+// (faults disabled) writes cleanly.
+func (fr *faultRand) next() decision {
+	if fr == nil {
+		return decision{}
+	}
+	var d decision
+	if fr.f.Drop > 0 && fr.rng.Float64() < fr.f.Drop {
+		d.drop = true
+	}
+	if fr.f.Dup > 0 && fr.rng.Float64() < fr.f.Dup {
+		d.dup = true
+	}
+	d.delay = fr.f.Delay
+	if fr.f.Jitter > 0 {
+		d.delay += time.Duration(fr.rng.Int63n(int64(fr.f.Jitter)))
+	}
+	return d
+}

@@ -1,0 +1,291 @@
+package node
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"predctl/internal/wire"
+)
+
+// link is one direction of a peer pair: this node's reliable, ordered
+// channel *to* one peer. Each ordered pair of nodes communicates over
+// the dialer's outbound connection, so a node runs n−1 outbound links
+// and accepts n−1 inbound streams; there is no connection dedup or
+// simultaneous-open tie-break to get wrong.
+//
+// Reliability is a small ARQ on top of TCP, needed because the
+// fault-injection shim (and, across reconnects, TCP itself) may lose
+// frames: every protocol frame carries a sender-assigned sequence
+// number, the receiver acknowledges cumulatively (wire.LinkAck riding
+// its own reverse link), and a retransmit tick re-sends everything
+// unacknowledged. Writes happen on a single writer goroutine — sends
+// enqueue and never block the protocol — with per-write deadlines, and
+// a failed or absent connection is re-dialed with capped exponential
+// backoff.
+type link struct {
+	from, to int
+	addr     string
+	n        int // cluster size, for the Hello handshake
+	faults   *faultRand
+	opt      Timeouts
+	logf     func(string, ...any)
+
+	mu      sync.Mutex // guards nextSeq, unacked
+	nextSeq uint64
+	unacked []outFrame
+
+	outCh     chan []byte   // frames enqueued for first transmission
+	ackFlag   chan struct{} // cap 1: an ack is pending in ackCum
+	ackCum    atomic.Uint64 // highest cumulative ack to announce (+1, so 0 = none)
+	done      chan struct{}
+	wg        sync.WaitGroup
+	connMu    sync.Mutex // guards conn for close-from-outside
+	conn      net.Conn
+	dialFails int
+	nextDial  time.Time
+}
+
+type outFrame struct {
+	seq uint64
+	buf []byte
+}
+
+// Timeouts bundles the link/transport tunables. Zero values take the
+// defaults below.
+type Timeouts struct {
+	RTO          time.Duration // retransmit scan interval
+	DialTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration // read deadline renewal window
+	BackoffMin   time.Duration // first redial delay after a failure
+	BackoffMax   time.Duration // redial delay cap
+}
+
+func (t Timeouts) withDefaults() Timeouts {
+	def := func(d *time.Duration, v time.Duration) {
+		if *d == 0 {
+			*d = v
+		}
+	}
+	def(&t.RTO, 25*time.Millisecond)
+	def(&t.DialTimeout, 2*time.Second)
+	def(&t.WriteTimeout, 2*time.Second)
+	def(&t.IdleTimeout, 500*time.Millisecond)
+	def(&t.BackoffMin, 5*time.Millisecond)
+	def(&t.BackoffMax, 500*time.Millisecond)
+	return t
+}
+
+func newLink(from, to, n int, addr string, faults Faults, opt Timeouts, logf func(string, ...any)) *link {
+	l := &link{
+		from: from, to: to, addr: addr, n: n,
+		faults:  newFaultRand(faults, from, to),
+		opt:     opt,
+		logf:    logf,
+		outCh:   make(chan []byte, 256),
+		ackFlag: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	l.wg.Add(1)
+	go l.writer()
+	return l
+}
+
+// Send enqueues m for reliable delivery. It never blocks: the frame is
+// registered as unacknowledged first, so even when the queue is full
+// the retransmit tick will carry it.
+func (l *link) Send(m wire.Msg) {
+	l.mu.Lock()
+	l.nextSeq++
+	seq := l.nextSeq
+	buf := wire.Marshal(seq, m)
+	l.unacked = append(l.unacked, outFrame{seq: seq, buf: buf})
+	l.mu.Unlock()
+	select {
+	case l.outCh <- buf:
+	default: // queue full: the RTO scan retransmits it
+	}
+}
+
+// Ack schedules a cumulative acknowledgement for the reverse direction
+// (frames this node received *from* l.to). Coalescing is free: only the
+// latest value matters.
+func (l *link) Ack(cum uint64) {
+	for {
+		old := l.ackCum.Load()
+		if cum+1 <= old {
+			return
+		}
+		if l.ackCum.CompareAndSwap(old, cum+1) {
+			break
+		}
+	}
+	select {
+	case l.ackFlag <- struct{}{}:
+	default:
+	}
+}
+
+// onAck prunes frames acknowledged by the peer.
+func (l *link) onAck(cum uint64) {
+	l.mu.Lock()
+	i := 0
+	for i < len(l.unacked) && l.unacked[i].seq <= cum {
+		i++
+	}
+	l.unacked = l.unacked[i:]
+	l.mu.Unlock()
+}
+
+// close stops the writer and drops the connection.
+func (l *link) close() {
+	select {
+	case <-l.done:
+	default:
+		close(l.done)
+	}
+	l.dropConn()
+	l.wg.Wait()
+}
+
+func (l *link) dropConn() {
+	l.connMu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.connMu.Unlock()
+}
+
+// writer is the link's single writer goroutine: first transmissions,
+// retransmissions and acks all funnel here, so frames never interleave
+// on the stream.
+func (l *link) writer() {
+	defer l.wg.Done()
+	ticker := time.NewTicker(l.opt.RTO)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.done:
+			return
+		case buf := <-l.outCh:
+			l.transmit(buf, true)
+		case <-l.ackFlag:
+			if cum := l.ackCum.Load(); cum > 0 {
+				l.writeFrame(wire.Marshal(0, wire.LinkAck{Cum: cum - 1}))
+			}
+		case <-ticker.C:
+			l.retransmit()
+		}
+	}
+}
+
+// retransmit re-sends every unacknowledged frame, oldest first.
+func (l *link) retransmit() {
+	l.mu.Lock()
+	pending := make([][]byte, len(l.unacked))
+	for i, f := range l.unacked {
+		pending[i] = f.buf
+	}
+	l.mu.Unlock()
+	for _, buf := range pending {
+		select {
+		case <-l.done:
+			return
+		default:
+		}
+		l.transmit(buf, true)
+	}
+}
+
+// transmit puts one frame on the wire, applying the fault shim when
+// asked: drop skips the write (recovery via retransmit), dup writes
+// twice (recovery via receiver dedup), delay sleeps first (the modeled
+// link latency).
+func (l *link) transmit(buf []byte, withFaults bool) {
+	var d decision
+	if withFaults {
+		d = l.faults.next()
+	}
+	if d.delay > 0 {
+		select {
+		case <-l.done:
+			return
+		case <-time.After(d.delay):
+		}
+	}
+	if d.drop {
+		return
+	}
+	l.writeFrame(buf)
+	if d.dup {
+		l.writeFrame(buf)
+	}
+}
+
+// writeFrame writes one already-encoded frame with a deadline,
+// (re)dialing first if needed. Errors drop the connection; recovery is
+// the retransmit tick's job.
+func (l *link) writeFrame(buf []byte) {
+	conn := l.ensureConn()
+	if conn == nil {
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(l.opt.WriteTimeout))
+	if _, err := conn.Write(buf); err != nil {
+		select {
+		case <-l.done: // teardown closes conns under the writer; quiet
+		default:
+			l.logf("node %d: link to %d: write: %v", l.from, l.to, err)
+		}
+		l.dropConn()
+	}
+}
+
+// ensureConn returns the live connection, dialing (with capped
+// exponential backoff between attempts) when there is none.
+func (l *link) ensureConn() net.Conn {
+	l.connMu.Lock()
+	conn := l.conn
+	l.connMu.Unlock()
+	if conn != nil {
+		return conn
+	}
+	if time.Now().Before(l.nextDial) {
+		return nil
+	}
+	c, err := net.DialTimeout("tcp", l.addr, l.opt.DialTimeout)
+	if err != nil {
+		backoff := l.opt.BackoffMin << l.dialFails
+		if backoff > l.opt.BackoffMax || backoff <= 0 {
+			backoff = l.opt.BackoffMax
+		}
+		if l.dialFails < 30 {
+			l.dialFails++
+		}
+		l.nextDial = time.Now().Add(backoff)
+		return nil
+	}
+	l.dialFails = 0
+	l.nextDial = time.Time{}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	// Handshake; the unacknowledged tail is replayed by the next RTO
+	// scan, and the peer's dedup makes the replay harmless.
+	c.SetWriteDeadline(time.Now().Add(l.opt.WriteTimeout))
+	if _, err := c.Write(wire.Marshal(0, wire.Hello{From: int32(l.from), N: int32(l.n)})); err != nil {
+		c.Close()
+		return nil
+	}
+	l.connMu.Lock()
+	l.conn = c
+	l.connMu.Unlock()
+	return c
+}
+
+// bufReader sizes the per-connection read buffer.
+func bufReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 64<<10) }

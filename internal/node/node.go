@@ -1,0 +1,432 @@
+// Package node is the real network runtime for the paper's on-line
+// predicate control: where internal/online runs applications and
+// controllers as processes on the discrete-event sim kernel, this
+// package hosts them as daemons over real TCP. Each node runs one
+// application process and its co-located controller (the paper's
+// "control system is a distinct distributed system"), embedding the
+// transport-neutral online.Machine — the sim kernel and this package
+// are two Hosts driving the same Figure 3 protocol code.
+//
+// The runtime earns what the simulator gave for free: per-peer reliable
+// in-order exactly-once delivery (sequence numbers, cumulative acks,
+// retransmission, dedup — link.go, transport.go) over connections that
+// redial with capped exponential backoff, with a deterministic
+// fault-injection shim (fault.go) exercising the recovery paths.
+//
+// A coordinator (coord.go) collects each node's capture stream and
+// reassembles the run as a deposet trace — apps are logical processes
+// 0..n-1, controllers n..2n-1, exactly the sim layout — so pctl replay,
+// detection and offline control consume a networked run unchanged. It
+// also merges the nodes' journals and tallies so the obs invariant
+// checkers (single scapegoat chain, handoff response window) run
+// against a real TCP execution.
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"predctl/internal/obs"
+	"predctl/internal/online"
+	"predctl/internal/wire"
+)
+
+// Stats aggregates one node's run, mirroring online.Stats with
+// wall-clock latencies.
+type Stats struct {
+	Requests    int
+	Handoffs    int
+	CtlMessages int
+	Responses   []time.Duration // per-request grant latency
+}
+
+// Config parameterizes one node of a controlled cluster running the
+// anti-token (n−1)-mutex workload: Rounds critical sections of length
+// CS separated by think times in (Think/2, Think].
+type Config struct {
+	ID        int
+	N         int
+	Addrs     []string // Addrs[i] is node i's listen address
+	Coord     string   // coordinator address (required)
+	Scapegoat int      // initial anti-token holder
+	Broadcast bool
+	Rounds    int
+	Think     time.Duration
+	CS        time.Duration
+	Seed      int64
+	Faults    Faults
+	Timeouts  Timeouts
+	Listener  net.Listener // optional pre-bound listener for this node
+	// Journal, when non-nil, receives this node's local copy of the
+	// control events (the coordinator gets them too, via the capture
+	// stream).
+	Journal *obs.Journal
+	// Reg, when non-nil, receives the node's protocol metrics, labeled
+	// with MetricLabels.
+	Reg          *obs.Registry
+	MetricLabels []obs.Label
+	Logf         func(string, ...any)
+	// Start is the run epoch journal timestamps are relative to; the
+	// zero value means "now". Clusters share one epoch so the merged
+	// journal's timestamps are comparable.
+	Start time.Time
+}
+
+// meters is the node's metric set (nil-safe, like online's). Response
+// latencies split by path: predctl_response_ns records every grant,
+// predctl_response_handoff_ns only grants that paid for an anti-token
+// handoff — the observations the paper's [2T, 2T+Emax] window bounds.
+type meters struct {
+	ctl         *obs.Counter
+	handoffs    *obs.Counter
+	cancels     *obs.Counter
+	requests    *obs.Counter
+	resp        *obs.Histogram
+	respHandoff *obs.Histogram
+}
+
+func newMeters(reg *obs.Registry, labels []obs.Label) meters {
+	return meters{
+		ctl:         reg.Counter("predctl_ctl_messages_total", labels...),
+		handoffs:    reg.Counter("predctl_handoffs_total", labels...),
+		cancels:     reg.Counter("predctl_broadcast_cancels_total", labels...),
+		requests:    reg.Counter("predctl_requests_total", labels...),
+		resp:        reg.Histogram("predctl_response_ns", labels...),
+		respHandoff: reg.Histogram("predctl_response_handoff_ns", labels...),
+	}
+}
+
+// localKind discriminates app → controller inputs on the node-local
+// channel (the networked stand-in for the sim's zero-delay local hop).
+type localKind uint8
+
+const (
+	locMayFalse localKind = iota
+	locNowTrue
+)
+
+type localInput struct {
+	kind localKind
+	id   uint64 // trace id of the local message
+}
+
+// node is one running daemon: application goroutine, controller
+// goroutine, transport, coordinator stream.
+type node struct {
+	cfg     Config
+	app     int // logical trace process of the application (= cfg.ID)
+	ctl     int // logical trace process of the controller (= cfg.N + cfg.ID)
+	tr      *Transport
+	cc      *coordClient
+	cap     *capture
+	clk     *clock
+	rng     *rand.Rand // controller-owned (PickTarget)
+	m       meters
+	statsMu sync.Mutex // app and controller both tally into stats
+	stats   Stats
+	start   time.Time
+	logf    func(string, ...any)
+	journal *obs.Journal
+
+	ctlIn     chan localInput
+	grantCh   chan grantMsg
+	ctlQuit   chan struct{} // stops the controller loop
+	ctlExited chan struct{}
+	appDone   chan struct{}
+
+	// handoffPending pairs Released with the Grant it unblocks (both on
+	// the controller goroutine): a grant that required an anti-token
+	// handoff is tagged, so its response time is held to the paper's
+	// [2T, 2T+Emax] window while local grants (the paper's "0") are not.
+	handoffPending bool
+}
+
+// grantMsg is the controller → app grant: the trace id of the grant
+// message, tagged with whether the grant paid for a handoff.
+type grantMsg struct {
+	id      uint64
+	handoff bool
+}
+
+func (nd *node) since() int64 { return time.Since(nd.start).Nanoseconds() }
+
+// journalCtl records a control event locally and forwards it to the
+// coordinator, so both the node's journal and the merged cluster
+// journal see it.
+func (nd *node) journalCtl(proc int, kind obs.Kind, name string, a, b, c int64, vc []int32) {
+	e := obs.Event{At: nd.since(), Proc: proc, Kind: kind, Name: name, A: a, B: b, C: c, VC: vc}
+	nd.journal.Append(e)
+	nd.cc.sendJournal(e)
+}
+
+// Run executes one node to completion: the application's Rounds
+// critical sections under anti-token control, then serving handoffs for
+// the rest of the cluster until the coordinator says Shutdown. It
+// returns the node's final tallies.
+func Run(cfg Config) (*Stats, error) {
+	if cfg.N < 2 || cfg.ID < 0 || cfg.ID >= cfg.N {
+		return nil, fmt.Errorf("node: id %d of %d out of range", cfg.ID, cfg.N)
+	}
+	if cfg.Scapegoat < 0 || cfg.Scapegoat >= cfg.N {
+		return nil, fmt.Errorf("node: scapegoat %d out of range", cfg.Scapegoat)
+	}
+	if cfg.Coord == "" {
+		return nil, fmt.Errorf("node: a coordinator address is required")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
+	opt := cfg.Timeouts.withDefaults()
+	cc, err := dialCoord(cfg.Coord, cfg.ID, cfg.N, opt, logf)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := NewTransport(TransportConfig{
+		ID: cfg.ID, N: cfg.N, Addrs: cfg.Addrs, Listener: cfg.Listener,
+		Faults: cfg.Faults, Timeouts: cfg.Timeouts, Logf: logf,
+	})
+	if err != nil {
+		cc.close()
+		return nil, err
+	}
+	nd := &node{
+		cfg: cfg, app: cfg.ID, ctl: cfg.N + cfg.ID,
+		tr: tr, cc: cc,
+		cap:     &capture{enabled: true},
+		clk:     newClock(cfg.N, cfg.ID),
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919)),
+		m:       newMeters(cfg.Reg, cfg.MetricLabels),
+		start:   start,
+		logf:    logf,
+		journal: cfg.Journal,
+		ctlIn:     make(chan localInput, 4),
+		grantCh:   make(chan grantMsg, 1),
+		ctlQuit:   make(chan struct{}),
+		ctlExited: make(chan struct{}),
+		appDone:   make(chan struct{}),
+	}
+	go nd.controller()
+	go nd.application()
+
+	// App finished: report Done (responses are complete; the controller
+	// keeps serving handoffs, so message tallies grow until shutdown).
+	<-nd.appDone
+	nd.flushTrace()
+	nd.cc.send(nd.doneFrame())
+
+	// Wait for the coordinator's Shutdown (or a lost coordinator, which
+	// ends the run the same way).
+	<-nd.cc.shutdownCh
+	close(nd.ctlQuit)
+	<-nd.ctlExited
+	tr.Close()
+
+	// Final flush: remaining trace ops, final tallies, and the bye that
+	// tells the coordinator this node's capture stream is complete.
+	nd.flushTrace()
+	nd.cc.send(nd.doneFrame())
+	nd.cc.send(wire.Shutdown{})
+	nd.cc.close()
+	nd.statsMu.Lock()
+	s := nd.stats
+	nd.statsMu.Unlock()
+	return &s, nil
+}
+
+// doneFrame snapshots the node's tallies as a wire.Done. At the first
+// Done the controller is still serving handoffs, so its message counts
+// keep growing; the final Done (sent after the controller exits)
+// carries the complete tallies.
+func (nd *node) doneFrame() wire.Done {
+	nd.statsMu.Lock()
+	defer nd.statsMu.Unlock()
+	d := wire.Done{
+		Proc:        int32(nd.cfg.ID),
+		Requests:    uint64(nd.stats.Requests),
+		Handoffs:    uint64(nd.stats.Handoffs),
+		CtlMessages: uint64(nd.stats.CtlMessages),
+	}
+	for _, r := range nd.stats.Responses {
+		d.Responses = append(d.Responses, r.Nanoseconds())
+	}
+	return d
+}
+
+func (nd *node) flushTrace() {
+	if ops := nd.cap.take(); len(ops) > 0 {
+		nd.cc.send(wire.Trace{Ops: ops})
+	}
+}
+
+// --- controller ---
+
+// controller runs the Figure 3 machine, feeding it local inputs and
+// transport deliveries. Machine effects come back through the Host
+// methods below, all on this goroutine.
+func (nd *node) controller() {
+	defer close(nd.ctlExited)
+	mach := online.NewMachine(nd.cfg.ID, nd.cfg.N, nd.cfg.ID == nd.cfg.Scapegoat, true, nd.cfg.Broadcast, (*nodeHost)(nd))
+	if mach.Scapegoat() {
+		nd.journalCtl(nd.ctl, obs.KindControl, obs.EvScapegoatInit, int64(nd.cfg.ID), 0, 0, nd.clk.snapshot())
+	}
+	for {
+		select {
+		case <-nd.ctlQuit:
+			return
+		case in := <-nd.ctlIn:
+			nd.cap.append(wire.TraceOp{Op: wire.TraceRecv, Proc: int32(nd.ctl), MsgID: in.id})
+			switch in.kind {
+			case locMayFalse:
+				mach.OnMayFalse()
+			case locNowTrue:
+				mach.OnNowTrue()
+			}
+		case rv := <-nd.tr.RecvCh():
+			m, ok := rv.Msg.(wire.Ctl)
+			if !ok {
+				nd.logf("node %d: dropping unexpected %T from %d", nd.cfg.ID, rv.Msg, rv.From)
+				continue
+			}
+			nd.clk.observe(nd.cfg.ID, m.VC)
+			nd.cap.append(wire.TraceOp{Op: wire.TraceRecv, Proc: int32(nd.ctl), MsgID: m.TraceID})
+			mach.OnCtl(int(m.From), online.MsgKind(m.Kind), m.Gen)
+		}
+	}
+}
+
+// nodeHost adapts *node to online.Host. All methods run on the
+// controller goroutine.
+type nodeHost node
+
+// SendCtl implements online.Host: a handoff protocol message to the
+// controller co-located with application `to`, over the reliable link.
+func (h *nodeHost) SendCtl(to int, k online.MsgKind, gen uint64) {
+	nd := (*node)(h)
+	vc := nd.clk.tick(nd.cfg.ID)
+	id := nd.cap.msgID(nd.ctl)
+	nd.cap.append(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.ctl), MsgID: id})
+	nd.statsMu.Lock()
+	nd.stats.CtlMessages++
+	nd.statsMu.Unlock()
+	nd.m.ctl.Inc()
+	if k == online.MsgCancel {
+		nd.m.cancels.Inc()
+	}
+	nd.journalCtl(nd.ctl, obs.KindControl, obs.EvCtlPrefix+k.String(), int64(to), 0, int64(gen), vc)
+	nd.tr.Send(to, wire.Ctl{
+		// online.MsgKind and wire.CtlKind enumerate req/ack/confirm/
+		// cancel in the same order; the conversion is the identity.
+		Kind: wire.CtlKind(k), From: int32(nd.cfg.ID), To: int32(to),
+		Gen: gen, TraceID: id, VC: vc,
+	})
+}
+
+// Grant implements online.Host: permission to the co-located
+// application, as a traced local message.
+func (h *nodeHost) Grant() {
+	nd := (*node)(h)
+	id := nd.cap.msgID(nd.ctl)
+	nd.cap.append(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.ctl), MsgID: id})
+	handoff := nd.handoffPending
+	nd.handoffPending = false
+	nd.grantCh <- grantMsg{id: id, handoff: handoff}
+}
+
+// Acquired implements online.Host: journal the anti-token transfer with
+// its generation (Event.C), the field the networked chain invariant
+// orders acquisitions by.
+func (h *nodeHost) Acquired(from int, gen uint64) {
+	nd := (*node)(h)
+	nd.journalCtl(nd.ctl, obs.KindControl, obs.EvScapegoatAcquire,
+		int64(nd.cfg.ID), int64(from), int64(gen), nd.clk.snapshot())
+}
+
+// Released implements online.Host: the releasing side of a handoff.
+func (h *nodeHost) Released(to int) {
+	nd := (*node)(h)
+	nd.statsMu.Lock()
+	nd.stats.Handoffs++
+	nd.statsMu.Unlock()
+	nd.m.handoffs.Inc()
+	nd.handoffPending = true
+}
+
+// PickTarget implements online.Host: a seeded-random controller other
+// than ourselves.
+func (h *nodeHost) PickTarget() int {
+	nd := (*node)(h)
+	t := nd.rng.Intn(nd.cfg.N - 1)
+	if t >= nd.cfg.ID {
+		t++
+	}
+	return t
+}
+
+// --- application ---
+
+// application runs the (n−1)-mutex workload of kmutex.RunScapegoat over
+// the real controller: think, request permission to go false, enter the
+// critical section (cs=1 — the local predicate ¬cs goes false), leave,
+// report true again. Every state change and local protocol hop is
+// captured as trace ops of logical process nd.app.
+func (nd *node) application() {
+	defer close(nd.appDone)
+	rng := rand.New(rand.NewSource(nd.cfg.Seed + int64(nd.cfg.ID)*104729 + 1))
+	nd.cap.appendApp(wire.TraceOp{Op: wire.TraceInit, Proc: int32(nd.app), Name: "cs", Value: 0})
+	for r := 0; r < nd.cfg.Rounds; r++ {
+		nd.sleepThink(rng)
+
+		// RequestFalse: mayFalse to the controller, block on the grant.
+		begin := time.Now()
+		id := nd.cap.msgID(nd.app)
+		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: id})
+		nd.ctlIn <- localInput{kind: locMayFalse, id: id}
+		g := <-nd.grantCh
+		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceRecv, Proc: int32(nd.app), MsgID: g.id})
+		d := time.Since(begin)
+		nd.statsMu.Lock()
+		nd.stats.Requests++
+		nd.stats.Responses = append(nd.stats.Responses, d)
+		nd.statsMu.Unlock()
+		nd.m.requests.Inc()
+		nd.m.resp.Observe(d.Nanoseconds())
+		if g.handoff {
+			nd.m.respHandoff.Observe(d.Nanoseconds())
+		}
+
+		// Critical section: cs=1 is the false-interval of ¬cs.
+		loIdx := nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSet, Proc: int32(nd.app), Name: "cs", Value: 1})
+		lo := nd.clk.tick(nd.cfg.ID)
+		nd.journalCtl(nd.app, obs.KindSet, "cs", 1, 0, 0, nil)
+		time.Sleep(nd.cfg.CS)
+		hiIdx := nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSet, Proc: int32(nd.app), Name: "cs", Value: 0})
+		hi := nd.clk.tick(nd.cfg.ID)
+		nd.journalCtl(nd.app, obs.KindSet, "cs", 0, 0, 0, nil)
+		nd.cc.send(wire.Candidate{
+			Proc: int32(nd.app), LoIdx: int64(loIdx), HiIdx: int64(hiIdx), Lo: lo, Hi: hi,
+		})
+
+		// NowTrue: the local predicate holds again (A2 at the end).
+		tid := nd.cap.msgID(nd.app)
+		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: tid})
+		nd.ctlIn <- localInput{kind: locNowTrue, id: tid}
+	}
+}
+
+// sleepThink sleeps a seeded-random think time in (Think/2, Think].
+func (nd *node) sleepThink(rng *rand.Rand) {
+	t := nd.cfg.Think
+	if t <= 0 {
+		return
+	}
+	half := int64(t) / 2
+	time.Sleep(time.Duration(half + 1 + rng.Int63n(int64(t)-half)))
+}

@@ -1,0 +1,265 @@
+package node
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"predctl/internal/wire"
+)
+
+// Transport is a node's view of the cluster mesh: reliable links to
+// every peer plus a listener demultiplexing inbound streams. Delivery
+// to the protocol layer is exactly-once and per-peer in-order — the
+// invariants the sim kernel gave the controller for free, now earned
+// with sequence numbers, dedup and reordering buffers over real TCP.
+type Transport struct {
+	id    int
+	n     int
+	ln    net.Listener
+	links []*link // by peer id; nil at self
+	rs    []*recvState
+	logf  func(string, ...any)
+
+	recvCh chan Recv
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// Recv is one delivered protocol message.
+type Recv struct {
+	From int
+	Msg  wire.Msg
+}
+
+// recvState is the per-peer receive half of the reliable link: dedup
+// and in-order delivery by sequence number.
+type recvState struct {
+	mu   sync.Mutex
+	next uint64 // next expected seq (first frame is 1)
+	buf  map[uint64]wire.Msg
+}
+
+// recvBufCap bounds buffered out-of-order frames per peer; beyond it a
+// frame is dropped and recovered by the sender's retransmit.
+const recvBufCap = 1024
+
+// TransportConfig configures one node's mesh endpoint.
+type TransportConfig struct {
+	ID       int
+	N        int
+	Addrs    []string // Addrs[i] is node i's listen address
+	Listener net.Listener
+	Faults   Faults
+	Timeouts Timeouts
+	Logf     func(string, ...any)
+}
+
+// NewTransport starts the mesh endpoint for node cfg.ID: it serves
+// cfg.Listener (or listens on cfg.Addrs[cfg.ID]) and lazily dials
+// peers on first send.
+func NewTransport(cfg TransportConfig) (*Transport, error) {
+	if cfg.N < 2 || cfg.ID < 0 || cfg.ID >= cfg.N {
+		return nil, fmt.Errorf("node: transport id %d of %d out of range", cfg.ID, cfg.N)
+	}
+	if len(cfg.Addrs) != cfg.N {
+		return nil, fmt.Errorf("node: %d addresses for %d nodes", len(cfg.Addrs), cfg.N)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.ID])
+		if err != nil {
+			return nil, fmt.Errorf("node: listen %s: %w", cfg.Addrs[cfg.ID], err)
+		}
+	}
+	opt := cfg.Timeouts.withDefaults()
+	t := &Transport{
+		id:     cfg.ID,
+		n:      cfg.N,
+		ln:     ln,
+		links:  make([]*link, cfg.N),
+		rs:     make([]*recvState, cfg.N),
+		logf:   logf,
+		recvCh: make(chan Recv, 256),
+		done:   make(chan struct{}),
+		conns:  map[net.Conn]struct{}{},
+	}
+	for p := 0; p < cfg.N; p++ {
+		if p == cfg.ID {
+			continue
+		}
+		t.links[p] = newLink(cfg.ID, p, cfg.N, cfg.Addrs[p], cfg.Faults, opt, logf)
+		t.rs[p] = &recvState{next: 1, buf: map[uint64]wire.Msg{}}
+	}
+	t.wg.Add(1)
+	go t.acceptLoop(opt)
+	return t, nil
+}
+
+// Send reliably delivers m to peer `to`.
+func (t *Transport) Send(to int, m wire.Msg) {
+	if to == t.id || to < 0 || to >= t.n {
+		panic(fmt.Sprintf("node: send to invalid peer %d from %d", to, t.id))
+	}
+	t.links[to].Send(m)
+}
+
+// RecvCh is the stream of delivered protocol messages, exactly-once
+// and in per-peer order.
+func (t *Transport) RecvCh() <-chan Recv { return t.recvCh }
+
+// Close tears the endpoint down: listener, inbound connections, links.
+func (t *Transport) Close() {
+	select {
+	case <-t.done:
+		return
+	default:
+		close(t.done)
+	}
+	t.ln.Close()
+	t.connMu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.connMu.Unlock()
+	for _, l := range t.links {
+		if l != nil {
+			l.close()
+		}
+	}
+	t.wg.Wait()
+}
+
+func (t *Transport) acceptLoop(opt Timeouts) {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+			default:
+				t.logf("node %d: accept: %v", t.id, err)
+			}
+			return
+		}
+		t.connMu.Lock()
+		t.conns[conn] = struct{}{}
+		t.connMu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handleConn(conn, opt)
+			t.connMu.Lock()
+			delete(t.conns, conn)
+			t.connMu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// handleConn serves one inbound stream: handshake, then demultiplex
+// frames until the peer goes away (it will reconnect and the persistent
+// per-peer recvState keeps dedup working across connections).
+func (t *Transport) handleConn(conn net.Conn, opt Timeouts) {
+	br := bufReader(conn)
+	from, err := t.handshake(br, conn, opt)
+	if err != nil {
+		t.logf("node %d: inbound handshake: %v", t.id, err)
+		return
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(opt.IdleTimeout))
+		seq, m, err := wire.ReadFrame(br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue // idle link: renew the deadline and keep reading
+			}
+			select {
+			case <-t.done:
+			default:
+				if !errors.Is(err, net.ErrClosed) {
+					t.logf("node %d: read from %d: %v", t.id, from, err)
+				}
+			}
+			return
+		}
+		switch v := m.(type) {
+		case wire.LinkAck:
+			t.links[from].onAck(v.Cum)
+		default:
+			t.deliver(from, seq, m)
+		}
+	}
+}
+
+func (t *Transport) handshake(br *bufio.Reader, conn net.Conn, opt Timeouts) (int, error) {
+	conn.SetReadDeadline(time.Now().Add(opt.DialTimeout))
+	_, m, err := wire.ReadFrame(br)
+	if err != nil {
+		return 0, err
+	}
+	h, ok := m.(wire.Hello)
+	if !ok {
+		return 0, fmt.Errorf("first frame is %T, want Hello", m)
+	}
+	if int(h.N) != t.n {
+		return 0, fmt.Errorf("peer believes cluster size %d, ours is %d", h.N, t.n)
+	}
+	if h.From < 0 || int(h.From) >= t.n || int(h.From) == t.id {
+		return 0, fmt.Errorf("invalid peer id %d", h.From)
+	}
+	return int(h.From), nil
+}
+
+// deliver runs the receive half of the reliable link: acknowledge,
+// deduplicate, reorder, and hand frames to the protocol in sequence
+// order.
+func (t *Transport) deliver(from int, seq uint64, m wire.Msg) {
+	rs := t.rs[from]
+	var ready []wire.Msg
+	rs.mu.Lock()
+	switch {
+	case seq < rs.next:
+		// Duplicate of an already-delivered frame (shim dup, retransmit
+		// crossing an ack, or replay after reconnect): drop, but re-ack
+		// so the sender stops retransmitting.
+	case seq == rs.next:
+		ready = append(ready, m)
+		rs.next++
+		for {
+			nm, ok := rs.buf[rs.next]
+			if !ok {
+				break
+			}
+			delete(rs.buf, rs.next)
+			ready = append(ready, nm)
+			rs.next++
+		}
+	default: // a gap: buffer until retransmission fills it
+		if len(rs.buf) < recvBufCap {
+			rs.buf[seq] = m
+		}
+	}
+	cum := rs.next - 1
+	rs.mu.Unlock()
+	t.links[from].Ack(cum)
+	for _, rm := range ready {
+		select {
+		case t.recvCh <- Recv{From: from, Msg: rm}:
+		case <-t.done:
+			return
+		}
+	}
+}

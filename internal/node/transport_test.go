@@ -1,0 +1,193 @@
+package node
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"predctl/internal/deposet"
+	"predctl/internal/wire"
+)
+
+// testTimeouts keeps retransmission and redial snappy under test.
+func testTimeouts() Timeouts {
+	return Timeouts{RTO: 5 * time.Millisecond, BackoffMin: 2 * time.Millisecond}
+}
+
+func newPair(t *testing.T, faults Faults) (*Transport, *Transport) {
+	t.Helper()
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ts := make([]*Transport, 2)
+	for i := range ts {
+		tr, err := NewTransport(TransportConfig{
+			ID: i, N: 2, Addrs: addrs, Listener: lns[i],
+			Faults: faults, Timeouts: testTimeouts(),
+		})
+		if err != nil {
+			t.Fatalf("transport %d: %v", i, err)
+		}
+		ts[i] = tr
+	}
+	t.Cleanup(func() { ts[0].Close(); ts[1].Close() })
+	return ts[0], ts[1]
+}
+
+// drain collects want messages from tr, failing on timeout.
+func drain(t *testing.T, tr *Transport, want int) []Recv {
+	t.Helper()
+	var got []Recv
+	deadline := time.After(30 * time.Second)
+	for len(got) < want {
+		select {
+		case r := <-tr.RecvCh():
+			got = append(got, r)
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d messages", len(got), want)
+		}
+	}
+	return got
+}
+
+// TestTransportExactlyOnceInOrder holds the reliable link to its
+// contract under an aggressive fault shim: despite drops, duplicates
+// and delayed writes, every message arrives exactly once, in send
+// order, in both directions at once.
+func TestTransportExactlyOnceInOrder(t *testing.T) {
+	a, b := newPair(t, Faults{Drop: 0.3, Dup: 0.3, Delay: 200 * time.Microsecond, Jitter: 300 * time.Microsecond, Seed: 42})
+	const msgs = 150
+	go func() {
+		for i := 0; i < msgs; i++ {
+			a.Send(1, wire.Ctl{Kind: wire.CtlReq, From: 0, To: 1, TraceID: uint64(i)})
+		}
+	}()
+	go func() {
+		for i := 0; i < msgs; i++ {
+			b.Send(0, wire.Ctl{Kind: wire.CtlAck, From: 1, To: 0, TraceID: uint64(i)})
+		}
+	}()
+	for name, tr := range map[string]*Transport{"a→b": b, "b→a": a} {
+		got := drain(t, tr, msgs)
+		for i, r := range got {
+			c := r.Msg.(wire.Ctl)
+			if c.TraceID != uint64(i) {
+				t.Fatalf("%s: message %d has TraceID %d (reordered, lost, or duplicated)", name, i, c.TraceID)
+			}
+		}
+	}
+}
+
+// TestTransportReconnect kills the established connection mid-stream;
+// the link must redial and the ARQ must recover everything the break
+// swallowed.
+func TestTransportReconnect(t *testing.T) {
+	a, b := newPair(t, Faults{})
+	for i := 0; i < 50; i++ {
+		a.Send(1, wire.Ctl{From: 0, To: 1, TraceID: uint64(i)})
+		if i == 25 {
+			a.links[1].dropConn()
+		}
+	}
+	got := drain(t, b, 50)
+	for i, r := range got {
+		if c := r.Msg.(wire.Ctl); c.TraceID != uint64(i) {
+			t.Fatalf("message %d has TraceID %d after reconnect", i, c.TraceID)
+		}
+	}
+}
+
+// TestFaultRandDeterministic pins the shim's contract: the same (seed,
+// link) yields the same decision stream, and distinct links diverge.
+func TestFaultRandDeterministic(t *testing.T) {
+	f := Faults{Drop: 0.4, Dup: 0.4, Delay: time.Millisecond, Jitter: time.Millisecond, Seed: 7}
+	stream := func(from, to int) []decision {
+		fr := newFaultRand(f, from, to)
+		out := make([]decision, 256)
+		for i := range out {
+			out[i] = fr.next()
+		}
+		return out
+	}
+	if !reflect.DeepEqual(stream(0, 1), stream(0, 1)) {
+		t.Fatal("same seed and link produced different decision streams")
+	}
+	if reflect.DeepEqual(stream(0, 1), stream(1, 0)) {
+		t.Fatal("opposite link directions produced identical decision streams")
+	}
+	if reflect.DeepEqual(stream(0, 1), stream(0, 2)) {
+		t.Fatal("distinct links produced identical decision streams")
+	}
+}
+
+// TestAssemble covers the coordinator's trace reassembly: a valid
+// capture round-trips into a deposet with the right causality, an
+// unreceived message stays in flight, and a receive with no matching
+// send is reported as a wedge, not mis-assembled.
+func TestAssemble(t *testing.T) {
+	// n=1 node → processes 0 (app) and 1 (controller). App sends to the
+	// controller, controller replies; one controller send stays in
+	// flight.
+	ops := [][]wire.TraceOp{
+		{
+			{Op: wire.TraceInit, Proc: 0, Name: "cs", Value: 0},
+			{Op: wire.TraceSend, Proc: 0, MsgID: 1},
+			{Op: wire.TraceRecv, Proc: 0, MsgID: 2},
+			{Op: wire.TraceSet, Proc: 0, Name: "cs", Value: 1},
+		},
+		{
+			{Op: wire.TraceRecv, Proc: 1, MsgID: 1},
+			{Op: wire.TraceSend, Proc: 1, MsgID: 2},
+			{Op: wire.TraceSend, Proc: 1, MsgID: 3}, // never received
+		},
+	}
+	d, err := assemble(1, ops)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if d.NumProcs() != 2 || d.Len(0) != 4 || d.Len(1) != 4 {
+		t.Fatalf("wrong shape: %d procs, lens %d/%d", d.NumProcs(), d.Len(0), d.Len(1))
+	}
+	inFlight := 0
+	for _, m := range d.Messages() {
+		if !m.Received() {
+			inFlight++
+		}
+	}
+	if inFlight != 1 {
+		t.Fatalf("want 1 in-flight message, got %d", inFlight)
+	}
+	// The app's send happens-before the controller's reply receive.
+	if !d.HB(deposet.StateID{P: 0, K: 1}, deposet.StateID{P: 0, K: 2}) {
+		t.Fatal("local order lost")
+	}
+	if v, ok := d.Var(deposet.StateID{P: 0, K: 3}, "cs"); !ok || v != 1 {
+		t.Fatalf("cs at final app state = %d, %v", v, ok)
+	}
+
+	// A receive of a message nobody sent must wedge with a clear error.
+	bad := [][]wire.TraceOp{
+		{{Op: wire.TraceRecv, Proc: 0, MsgID: 99}},
+		{},
+	}
+	if _, err := assemble(1, bad); err == nil {
+		t.Fatal("assemble accepted a receive of an unsent message")
+	}
+
+	// Duplicate trace ids must be rejected, not silently cross-wired.
+	dup := [][]wire.TraceOp{
+		{{Op: wire.TraceSend, Proc: 0, MsgID: 5}, {Op: wire.TraceSend, Proc: 0, MsgID: 5}},
+		{},
+	}
+	if _, err := assemble(1, dup); err == nil {
+		t.Fatal("assemble accepted duplicate trace ids")
+	}
+}

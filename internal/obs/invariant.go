@@ -96,6 +96,27 @@ func (r *Report) CheckResponses(hist *Histogram, T, Emax int64, journalCtx *Jour
 	}
 }
 
+// CheckResponsesWindow asserts the §6 window on wall-clock handoff
+// responses: every observation of hist lies in [lo, hi]. It is the
+// networked counterpart of CheckResponses — real runs split responses
+// by path (a grant that required an anti-token handoff versus a local
+// grant, the paper's "0"), because wall clocks make the zero branch a
+// scheduling-noise band rather than an exact value. Feed it the
+// handoff-only histogram (predctl_response_handoff_ns) with lo = 2×
+// the injected link delay and a generous hi.
+func (r *Report) CheckResponsesWindow(hist *Histogram, lo, hi int64, journalCtx *Journal) {
+	const inv = "handoff response ∈ [2T, 2T+Emax]"
+	r.checked(inv)
+	for i, v := range hist.Values() {
+		if v >= lo && v <= hi {
+			continue
+		}
+		r.violate(inv,
+			fmt.Sprintf("handoff observation #%d is %d (allowed [%d, %d])", i, v, lo, hi),
+			tail(journalCtx, 12))
+	}
+}
+
 // CheckScapegoatChain asserts the anti-token uniqueness invariant on
 // the journal's control events: exactly one EvScapegoatInit, and every
 // EvScapegoatAcquire names the current holder as the releaser. When the
@@ -137,6 +158,79 @@ func (r *Report) CheckScapegoatChain(j *Journal) {
 			}
 			holder = e.A
 		}
+	}
+}
+
+// CheckScapegoatChainNet asserts the single-chain invariant on a
+// journal merged from concurrently-running nodes, where append order is
+// arrival order, not acquisition order. It therefore orders
+// acquisitions by the anti-token generation each one piggybacks
+// (Event.C): the generations present must be exactly 1..K — a
+// duplicate generation is two controllers both believing they took the
+// same anti-token (a forked chain), a gap is a transfer nobody
+// journaled — and generation g must name generation g−1's acquirer as
+// its releaser (g=1 names the initial holder). Skipped, like
+// CheckScapegoatChain, when the journal wrapped.
+func (r *Report) CheckScapegoatChainNet(j *Journal) {
+	const inv = "single scapegoat chain (generation-ordered)"
+	if j.Dropped() > 0 {
+		return
+	}
+	r.checked(inv)
+	initHolder := int64(-1)
+	initSeen := false
+	byGen := map[int64]Event{}
+	var maxGen int64
+	for _, e := range j.Events() {
+		if e.Kind != KindControl {
+			continue
+		}
+		switch e.Name {
+		case EvScapegoatInit:
+			if initSeen {
+				r.violate(inv, fmt.Sprintf("second scapegoat.init for P%d (holder was P%d)", e.A, initHolder),
+					j.Slice(sat(e.Seq, 6), e.Seq))
+				return
+			}
+			initSeen = true
+			initHolder = e.A
+		case EvScapegoatAcquire:
+			if prev, dup := byGen[e.C]; dup {
+				r.violate(inv,
+					fmt.Sprintf("generation %d acquired twice: by P%d (from P%d) and by P%d (from P%d) — forked chain",
+						e.C, prev.A, prev.B, e.A, e.B),
+					[]Event{prev, e})
+				return
+			}
+			byGen[e.C] = e
+			if e.C > maxGen {
+				maxGen = e.C
+			}
+		}
+	}
+	if len(byGen) == 0 {
+		return
+	}
+	if !initSeen {
+		r.violate(inv, "acquisitions recorded but no scapegoat.init", nil)
+		return
+	}
+	holder := initHolder
+	for g := int64(1); g <= maxGen; g++ {
+		e, ok := byGen[g]
+		if !ok {
+			r.violate(inv, fmt.Sprintf("generation %d missing (%d acquisitions up to generation %d)",
+				g, len(byGen), maxGen), nil)
+			return
+		}
+		if e.B != holder {
+			r.violate(inv,
+				fmt.Sprintf("generation %d: P%d acquired from P%d, but generation %d's holder was P%d",
+					g, e.A, e.B, g-1, holder),
+				[]Event{e})
+			return
+		}
+		holder = e.A
 	}
 }
 

@@ -65,18 +65,22 @@ func (k Kind) String() string {
 	return "?"
 }
 
-// Event is one journal entry. At is virtual time; Proc the simulated
-// process index. A and B are kind-specific operands (see the Kind
-// constants); VC, when non-nil, is a vector clock snapshot taken by an
-// instrumented layer that maintains runtime clocks (internal/monitor).
+// Event is one journal entry. At is virtual time (or wall-clock
+// nanoseconds since run start, for networked runs); Proc the simulated
+// process index. A, B and C are kind-specific operands (see the Kind
+// constants; C is 0 for most events — scapegoat.acquire uses it for the
+// anti-token generation, which lets checkers order acquisitions from
+// different nodes without trusting cross-node timestamps); VC, when
+// non-nil, is a vector clock snapshot taken by an instrumented layer
+// that maintains runtime clocks (internal/monitor, internal/node).
 type Event struct {
-	Seq  uint64
-	At   int64
-	Proc int
-	Kind Kind
-	Name string
-	A, B int64
-	VC   []int32
+	Seq     uint64
+	At      int64
+	Proc    int
+	Kind    Kind
+	Name    string
+	A, B, C int64
+	VC      []int32
 }
 
 // DefaultJournalCap is the ring capacity used when NewJournal is given 0.

@@ -65,7 +65,18 @@ var ctlEventNames = map[kind]string{
 
 type envelope struct {
 	kind    kind
+	gen     uint64 // anti-token generation (controller-to-controller kinds)
 	payload any
+}
+
+// kindOf / ctlKind translate between the machine's transport-neutral
+// MsgKind and this package's sim envelope kinds.
+var kindOf = map[MsgKind]kind{
+	MsgReq: kindReq, MsgAck: kindAck, MsgConfirm: kindConfirm, MsgCancel: kindCancel,
+}
+
+var ctlKind = map[kind]MsgKind{
+	kindReq: MsgReq, kindAck: MsgAck, kindConfirm: MsgConfirm, kindCancel: MsgCancel,
 }
 
 // Stats aggregates a run's control overhead. All fields are written
@@ -300,20 +311,19 @@ func (g *Guard) Recv() (from int, payload any) {
 	}
 }
 
-// controller runs the paper's Figure 3 strategy as a daemon process.
+// controller hosts the Figure 3 strategy — factored into the
+// transport-neutral Machine (machine.go) — as a sim daemon process: it
+// translates kernel messages into machine inputs and implements the
+// machine's effects (Host) on the simulator.
 type controller struct {
-	p          *sim.Proc
-	n          int
-	scapegoat  bool
-	localTrue  bool
-	broadcast  bool
-	waitingAck bool
-	wantGrant  bool  // the app asked to go false and is waiting
-	tentative  int   // broadcast: acks issued, awaiting confirm/cancel
-	pending    []int // controllers whose req awaits our next true period
-	deferred   []int // reqs received while we were waiting for an ack
-	stats      *Stats
-	m          meters
+	p         *sim.Proc
+	n         int
+	scapegoat bool
+	localTrue bool
+	broadcast bool
+	mach      *Machine
+	stats     *Stats
+	m         meters
 }
 
 // faultDelayGrant is a test-only fault injection point: when positive,
@@ -322,142 +332,79 @@ type controller struct {
 // invariant checker can be shown to trip. Never set outside tests.
 var faultDelayGrant sim.Time
 
-func (c *controller) send(to int, k kind) {
-	c.p.Send(to, envelope{kind: k})
+// SendCtl implements Host: deliver a protocol message to the controller
+// co-located with application process `to`, counting and journaling it.
+func (c *controller) SendCtl(to int, k MsgKind, gen uint64) {
+	c.p.Send(c.n+to, envelope{kind: kindOf[k], gen: gen})
 	c.stats.CtlMessages++
 	c.m.ctl.Inc()
-	if k == kindCancel {
+	if k == MsgCancel {
 		c.m.cancels.Inc()
 	}
 	if j := c.p.Journal(); j != nil {
 		j.Append(obs.Event{
 			At: int64(c.p.Now()), Proc: c.p.ID(), Kind: obs.KindControl,
-			Name: ctlEventNames[k], A: int64(to - c.n),
+			Name: ctlEventNames[kindOf[k]], A: int64(to),
 		})
 	}
 }
 
-// acquired records this controller taking the anti-token from the
-// controller `from` (a sim process id), for the chain invariant. (The
-// handoff *counter* increments beside stats.Handoffs at the releasing
-// side, so metrics mirror Stats exactly.)
-func (c *controller) acquired(from int) {
+// Acquired implements Host: record this controller taking the anti-token
+// from controller `from` (application-index space), for the chain
+// invariant; C carries the anti-token generation so checkers can order
+// acquisitions without trusting event order. (The handoff *counter*
+// increments beside stats.Handoffs at the releasing side, so metrics
+// mirror Stats exactly.)
+func (c *controller) Acquired(from int, gen uint64) {
 	if j := c.p.Journal(); j != nil {
 		j.Append(obs.Event{
 			At: int64(c.p.Now()), Proc: c.p.ID(), Kind: obs.KindControl,
-			Name: obs.EvScapegoatAcquire, A: int64(c.p.ID() - c.n), B: int64(from - c.n),
+			Name: obs.EvScapegoatAcquire, A: int64(c.p.ID() - c.n), B: int64(from),
+			C: int64(gen),
 		})
 	}
+}
+
+// Released implements Host: the releasing side of a completed handoff.
+func (c *controller) Released(to int) {
+	c.stats.Handoffs++
+	c.m.handoffs.Inc()
+}
+
+// Grant implements Host: permit the co-located application to go false.
+func (c *controller) Grant() {
+	if faultDelayGrant > 0 {
+		c.p.Work(faultDelayGrant) // test-only: break the 2T+Emax bound
+	}
+	c.p.Send(c.p.ID()-c.n, envelope{kind: kindGrant})
+}
+
+// PickTarget implements Host: a deterministic random controller other
+// than ourselves, from the process's seeded stream.
+func (c *controller) PickTarget() int {
+	app := c.p.ID() - c.n
+	t := c.p.Rand().Intn(c.n - 1)
+	if t >= app {
+		t++
+	}
+	return t
 }
 
 func (c *controller) run() {
 	c.p.Daemon()
-	app := c.p.ID() - c.n
+	c.mach = NewMachine(c.p.ID()-c.n, c.n, c.scapegoat, c.localTrue, c.broadcast, c)
 	for {
 		from, raw := c.p.Recv()
 		env := raw.(envelope)
 		switch env.kind {
 		case kindMayFalse:
-			c.wantGrant = true
-			c.maybeProceed(app)
-		case kindAck:
-			if !c.waitingAck {
-				// A later ack of an already-completed broadcast round:
-				// release the tentative responder.
-				if c.broadcast {
-					c.send(from, kindCancel)
-				}
-				continue
-			}
-			c.waitingAck = false
-			c.scapegoat = false
-			c.stats.Handoffs++
-			c.m.handoffs.Inc()
-			if c.broadcast {
-				c.send(from, kindConfirm)
-			}
-			if faultDelayGrant > 0 {
-				c.p.Work(faultDelayGrant) // test-only: break the 2T+Emax bound
-			}
-			c.grant(app)
-			for _, j := range c.deferred {
-				c.handleReq(j)
-			}
-			c.deferred = c.deferred[:0]
-		case kindReq:
-			if c.waitingAck {
-				// Answering now could hand our own anti-token away while
-				// another one is already travelling to us; defer.
-				c.deferred = append(c.deferred, from)
-				continue
-			}
-			c.handleReq(from)
-		case kindConfirm:
-			c.scapegoat = true
-			c.acquired(from)
-			c.tentative--
-			c.maybeProceed(app)
-		case kindCancel:
-			c.tentative--
-			c.maybeProceed(app)
+			c.mach.OnMayFalse()
 		case kindNowTrue:
-			c.localTrue = true
-			for _, j := range c.pending {
-				c.handleReq(j)
-			}
-			c.pending = c.pending[:0]
+			c.mach.OnNowTrue()
+		case kindReq, kindAck, kindConfirm, kindCancel:
+			c.mach.OnCtl(from-c.n, ctlKind[env.kind], env.gen)
 		default:
 			panic(fmt.Sprintf("online: controller received unexpected message %v", env.kind))
 		}
 	}
-}
-
-// maybeProceed advances a waiting mayFalse request whenever the state
-// allows: a tentative responder stays true until released; a scapegoat
-// must first hand the anti-token off; anyone else is granted at once.
-func (c *controller) maybeProceed(app int) {
-	if !c.wantGrant || c.tentative > 0 || c.waitingAck {
-		return
-	}
-	if !c.scapegoat {
-		c.grant(app)
-		return
-	}
-	c.waitingAck = true
-	if c.broadcast {
-		for t := c.n; t < 2*c.n; t++ {
-			if t != c.p.ID() {
-				c.send(t, kindReq)
-			}
-		}
-		return
-	}
-	t := c.n + c.p.Rand().Intn(c.n-1)
-	if t >= c.p.ID() {
-		t++
-	}
-	c.send(t, kindReq)
-}
-
-func (c *controller) grant(app int) {
-	c.localTrue = false
-	c.wantGrant = false
-	c.p.Send(app, envelope{kind: kindGrant})
-}
-
-func (c *controller) handleReq(j int) {
-	if !c.localTrue {
-		c.pending = append(c.pending, j)
-		return
-	}
-	if c.broadcast {
-		// Tentative: hold ourselves true until the requester confirms or
-		// cancels; the role transfers only with the confirm.
-		c.tentative++
-		c.send(j, kindAck)
-		return
-	}
-	c.scapegoat = true
-	c.acquired(j)
-	c.send(j, kindAck)
 }

@@ -1,0 +1,496 @@
+// Package wire is the network runtime's binary codec: a compact,
+// versioned, length-prefixed encoding of every message the predicate
+// control protocol puts on a real link. It is the contract between node
+// daemons (internal/node) and between a node and the trace-capturing
+// coordinator, kept deliberately free of both net and sim dependencies
+// so it can be fuzzed and round-trip-tested in isolation.
+//
+// Stream framing:
+//
+//	[u32 big-endian body length][body]
+//	body = [u8 version][u8 kind][uvarint seq][kind-specific payload]
+//
+// seq is the reliable-link sequence number assigned by the sender
+// (0 for unsequenced link-control frames such as Hello and LinkAck);
+// the link layer in internal/node uses it for at-least-once delivery
+// with receiver-side deduplication, which is what makes the
+// fault-injection shim's drops and duplicates recoverable.
+//
+// Integers are varint-encoded (zigzag for signed fields, so the
+// vclock.None = -1 sentinel costs one byte); strings and byte slices
+// are length-prefixed. Decoding is strict: unknown versions or kinds,
+// truncated payloads, oversized counts and trailing bytes are all
+// errors, never panics — the fuzz target in fuzz_test.go holds the
+// codec to that.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version this codec speaks. A node refuses
+// frames from any other version: protocol evolution bumps it, and mixed
+// clusters fail loudly at the handshake instead of misparsing.
+const Version = 1
+
+// MaxFrame bounds the body length accepted from a peer (1 MiB): a
+// corrupt or hostile length prefix must not OOM the daemon.
+const MaxFrame = 1 << 20
+
+// maxVC bounds vector-clock and list lengths inside one frame.
+const maxVC = 1 << 16
+
+// Msg is one decoded protocol message. The set is closed (sealed by the
+// unexported method): Hello, LinkAck, Ctl, App, Candidate, JournalEvent,
+// Trace, Done, Shutdown.
+type Msg interface{ wireKind() byte }
+
+// Frame kinds (the body's second byte).
+const (
+	kindHello byte = iota + 1
+	kindLinkAck
+	kindCtl
+	kindApp
+	kindCandidate
+	kindJournalEvent
+	kindTrace
+	kindDone
+	kindShutdown
+)
+
+// CtlKind is a controller-to-controller handoff message kind, mirroring
+// online.MsgKind (req/ack/confirm/cancel) without importing it.
+type CtlKind uint8
+
+// The four handoff message kinds of the paper's Figure 3 strategy plus
+// the broadcast completion round.
+const (
+	CtlReq CtlKind = iota
+	CtlAck
+	CtlConfirm
+	CtlCancel
+)
+
+var ctlKindNames = [...]string{"req", "ack", "confirm", "cancel"}
+
+func (k CtlKind) String() string {
+	if int(k) < len(ctlKindNames) {
+		return ctlKindNames[k]
+	}
+	return fmt.Sprintf("CtlKind(%d)", uint8(k))
+}
+
+// Hello opens every connection: it names the dialing node and the
+// cluster size, so the accepting side can reject mismatched clusters
+// and index its per-peer receive state.
+type Hello struct {
+	From int32 // dialing node id (coordinator uses -1)
+	N    int32 // cluster size the dialer believes in
+}
+
+// LinkAck is the reliable link's cumulative acknowledgement: every
+// sequenced frame with seq ≤ Cum from the acknowledged direction has
+// been delivered. Unsequenced itself, idempotent, safe to lose.
+type LinkAck struct {
+	Cum uint64
+}
+
+// Ctl is a handoff protocol message between controllers (app-index
+// space). Gen piggybacks the sender's anti-token generation so
+// acquisitions are totally ordered for the chain invariant; TraceID
+// identifies the message in the captured deposet trace; VC piggybacks
+// the sender's node-level vector clock.
+type Ctl struct {
+	Kind    CtlKind
+	From    int32
+	To      int32
+	Gen     uint64
+	TraceID uint64
+	VC      []int32
+}
+
+// App is an application-level message between controlled processes,
+// with the piggybacked vector clock the monitor-style online detection
+// needs and the TraceID that binds it into the captured deposet.
+type App struct {
+	From    int32
+	To      int32
+	TraceID uint64
+	VC      []int32
+	Payload []byte
+}
+
+// Candidate reports one maximal true-interval of a node's local
+// predicate to the coordinator (the Garg–Waldecker candidate of
+// internal/monitor, §4 of the paper): interval endpoints as vector
+// clocks plus traced state indices.
+type Candidate struct {
+	Proc   int32
+	LoIdx  int64
+	HiIdx  int64
+	Lo, Hi []int32
+}
+
+// JournalEvent forwards one obs.Event from a node to the coordinator,
+// so a multi-process cluster still assembles a single journal for the
+// invariant checkers.
+type JournalEvent struct {
+	At   int64
+	Proc int32
+	Kind uint8
+	Name string
+	A    int64
+	B    int64
+	C    int64
+	VC   []int32
+}
+
+// TraceOp codes for TraceOp.Op.
+const (
+	TraceInit byte = iota + 1 // set Name := Value at the initial state ⊥
+	TraceStep                 // local event
+	TraceSend                 // send event of message MsgID
+	TraceRecv                 // receive event of message MsgID
+	TraceLet                  // set Name := Value at the current state
+	TraceSet                  // local event that sets Name := Value
+)
+
+// TraceOp is one deposet-building operation of logical process Proc, in
+// that process's event order. The coordinator replays ops through a
+// deposet.Builder, matching TraceSend/TraceRecv pairs by MsgID, to
+// capture the networked run as a trace that pctl replay and the offline
+// analyses consume unchanged.
+type TraceOp struct {
+	Op    byte
+	Proc  int32
+	MsgID uint64
+	Name  string
+	Value int64
+}
+
+// Trace batches trace-capture operations from one node.
+type Trace struct {
+	Ops []TraceOp
+}
+
+// Done tells the coordinator this node's application body finished,
+// carrying the node's protocol tallies. The coordinator broadcasts
+// Shutdown once every node reported Done.
+type Done struct {
+	Proc        int32
+	Requests    uint64
+	Handoffs    uint64
+	CtlMessages uint64
+	Responses   []int64 // per-request grant latency, nanoseconds
+}
+
+// Shutdown is the coordinator's stop signal to a node.
+type Shutdown struct{}
+
+func (Hello) wireKind() byte        { return kindHello }
+func (LinkAck) wireKind() byte      { return kindLinkAck }
+func (Ctl) wireKind() byte          { return kindCtl }
+func (App) wireKind() byte          { return kindApp }
+func (Candidate) wireKind() byte    { return kindCandidate }
+func (JournalEvent) wireKind() byte { return kindJournalEvent }
+func (Trace) wireKind() byte        { return kindTrace }
+func (Done) wireKind() byte         { return kindDone }
+func (Shutdown) wireKind() byte     { return kindShutdown }
+
+// --- encoding ---
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendBytes(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendVC(b []byte, vc []int32) []byte {
+	b = appendUvarint(b, uint64(len(vc)))
+	for _, c := range vc {
+		b = appendVarint(b, int64(c))
+	}
+	return b
+}
+
+// AppendBody appends the frame body (version, kind, seq, payload) for m
+// to dst — without the length prefix — and returns the result.
+func AppendBody(dst []byte, seq uint64, m Msg) []byte {
+	dst = append(dst, Version, m.wireKind())
+	dst = appendUvarint(dst, seq)
+	switch v := m.(type) {
+	case Hello:
+		dst = appendVarint(dst, int64(v.From))
+		dst = appendVarint(dst, int64(v.N))
+	case LinkAck:
+		dst = appendUvarint(dst, v.Cum)
+	case Ctl:
+		dst = append(dst, byte(v.Kind))
+		dst = appendVarint(dst, int64(v.From))
+		dst = appendVarint(dst, int64(v.To))
+		dst = appendUvarint(dst, v.Gen)
+		dst = appendUvarint(dst, v.TraceID)
+		dst = appendVC(dst, v.VC)
+	case App:
+		dst = appendVarint(dst, int64(v.From))
+		dst = appendVarint(dst, int64(v.To))
+		dst = appendUvarint(dst, v.TraceID)
+		dst = appendVC(dst, v.VC)
+		dst = appendBytes(dst, v.Payload)
+	case Candidate:
+		dst = appendVarint(dst, int64(v.Proc))
+		dst = appendVarint(dst, v.LoIdx)
+		dst = appendVarint(dst, v.HiIdx)
+		dst = appendVC(dst, v.Lo)
+		dst = appendVC(dst, v.Hi)
+	case JournalEvent:
+		dst = appendVarint(dst, v.At)
+		dst = appendVarint(dst, int64(v.Proc))
+		dst = append(dst, v.Kind)
+		dst = appendString(dst, v.Name)
+		dst = appendVarint(dst, v.A)
+		dst = appendVarint(dst, v.B)
+		dst = appendVarint(dst, v.C)
+		dst = appendVC(dst, v.VC)
+	case Trace:
+		dst = appendUvarint(dst, uint64(len(v.Ops)))
+		for _, op := range v.Ops {
+			dst = append(dst, op.Op)
+			dst = appendVarint(dst, int64(op.Proc))
+			dst = appendUvarint(dst, op.MsgID)
+			dst = appendString(dst, op.Name)
+			dst = appendVarint(dst, op.Value)
+		}
+	case Done:
+		dst = appendVarint(dst, int64(v.Proc))
+		dst = appendUvarint(dst, v.Requests)
+		dst = appendUvarint(dst, v.Handoffs)
+		dst = appendUvarint(dst, v.CtlMessages)
+		dst = appendUvarint(dst, uint64(len(v.Responses)))
+		for _, r := range v.Responses {
+			dst = appendVarint(dst, r)
+		}
+	case Shutdown:
+	default:
+		panic(fmt.Sprintf("wire: unknown message type %T", m))
+	}
+	return dst
+}
+
+// Marshal encodes m as a complete frame: length prefix plus body.
+func Marshal(seq uint64, m Msg) []byte {
+	body := AppendBody(make([]byte, 4, 64), seq, m)
+	binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
+	return body
+}
+
+// --- decoding ---
+
+var (
+	// ErrVersion is returned for a frame of a different protocol version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrTruncated is returned when a frame body ends mid-field.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrTrailing is returned when a frame body has bytes past its
+	// payload — strict framing catches desynchronized streams early.
+	ErrTrailing = errors.New("wire: trailing bytes after payload")
+	// ErrFrameSize is returned when a length prefix exceeds MaxFrame.
+	ErrFrameSize = errors.New("wire: frame exceeds size limit")
+)
+
+// dec is a cursor over a frame body with sticky error handling.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = ErrTruncated
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) i32() int32 { return int32(d.varint()) }
+
+func (d *dec) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:])
+	d.off += int(n)
+	return out
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func (d *dec) vc() []int32 {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxVC || n > uint64(len(d.b)-d.off) { // each component ≥ 1 byte
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.i32()
+	}
+	return out
+}
+
+// DecodeBody decodes one frame body (without the length prefix).
+func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
+	d := &dec{b: body}
+	if v := d.u8(); d.err == nil && v != Version {
+		return 0, nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	kind := d.u8()
+	seq = d.uvarint()
+	switch kind {
+	case kindHello:
+		m = Hello{From: d.i32(), N: d.i32()}
+	case kindLinkAck:
+		m = LinkAck{Cum: d.uvarint()}
+	case kindCtl:
+		m = Ctl{Kind: CtlKind(d.u8()), From: d.i32(), To: d.i32(),
+			Gen: d.uvarint(), TraceID: d.uvarint(), VC: d.vc()}
+	case kindApp:
+		m = App{From: d.i32(), To: d.i32(), TraceID: d.uvarint(),
+			VC: d.vc(), Payload: d.bytes()}
+	case kindCandidate:
+		m = Candidate{Proc: d.i32(), LoIdx: d.varint(), HiIdx: d.varint(),
+			Lo: d.vc(), Hi: d.vc()}
+	case kindJournalEvent:
+		m = JournalEvent{At: d.varint(), Proc: d.i32(), Kind: d.u8(),
+			Name: d.str(), A: d.varint(), B: d.varint(), C: d.varint(), VC: d.vc()}
+	case kindTrace:
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) { // each op ≥ 1 byte
+			d.fail()
+		}
+		var ops []TraceOp
+		if d.err == nil && n > 0 {
+			ops = make([]TraceOp, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				ops = append(ops, TraceOp{Op: d.u8(), Proc: d.i32(),
+					MsgID: d.uvarint(), Name: d.str(), Value: d.varint()})
+			}
+		}
+		m = Trace{Ops: ops}
+	case kindDone:
+		v := Done{Proc: d.i32(), Requests: d.uvarint(), Handoffs: d.uvarint(),
+			CtlMessages: d.uvarint()}
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) { // each entry ≥ 1 byte
+			d.fail()
+		}
+		if d.err == nil && n > 0 {
+			v.Responses = make([]int64, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				v.Responses = append(v.Responses, d.varint())
+			}
+		}
+		m = v
+	case kindShutdown:
+		m = Shutdown{}
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: unknown frame kind %d", kind)
+		}
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if d.off != len(d.b) {
+		return 0, nil, fmt.Errorf("%w: %d of %d bytes consumed", ErrTrailing, d.off, len(d.b))
+	}
+	return seq, m, nil
+}
+
+// WriteFrame writes one complete frame to w.
+func WriteFrame(w io.Writer, seq uint64, m Msg) error {
+	_, err := w.Write(Marshal(seq, m))
+	return err
+}
+
+// ReadFrame reads one complete frame from r: the length prefix, then
+// the body, which it decodes. io.EOF is returned verbatim on a clean
+// end-of-stream boundary.
+func ReadFrame(r io.Reader) (seq uint64, m Msg, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return DecodeBody(body)
+}

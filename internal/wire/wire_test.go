@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// every message kind, with both zero and populated fields.
+func sampleMsgs() []Msg {
+	return []Msg{
+		Hello{From: 3, N: 5},
+		Hello{From: -1, N: 8}, // coordinator handshake
+		LinkAck{Cum: 0},
+		LinkAck{Cum: 1<<63 + 17},
+		Ctl{Kind: CtlReq, From: 0, To: 4, Gen: 7, TraceID: 1 << 40, VC: []int32{-1, 0, 12}},
+		Ctl{Kind: CtlCancel, From: 2, To: 0},
+		App{From: 1, To: 2, TraceID: 99, VC: []int32{5, -1, 3}, Payload: []byte("hi")},
+		App{From: 0, To: 1},
+		Candidate{Proc: 2, LoIdx: 4, HiIdx: 9, Lo: []int32{1, 2, 3}, Hi: []int32{4, 5, 6}},
+		JournalEvent{At: 123456789, Proc: 7, Kind: 7, Name: "scapegoat.acquire", A: 2, B: 1, C: 3},
+		JournalEvent{At: -5, Proc: 0, Kind: 1, A: -1, B: -2, C: -3, VC: []int32{-1}},
+		Trace{},
+		Trace{Ops: []TraceOp{
+			{Op: TraceInit, Proc: 0, Name: "cs", Value: 0},
+			{Op: TraceSend, Proc: 3, MsgID: 1<<48 | 42},
+			{Op: TraceRecv, Proc: 1, MsgID: 1<<48 | 42},
+			{Op: TraceSet, Proc: 0, Name: "cs", Value: 1},
+			{Op: TraceStep, Proc: 2},
+		}},
+		Done{Proc: 4, Requests: 10, Handoffs: 3, CtlMessages: 6, Responses: []int64{0, 1500, 2_000_000}},
+		Done{Proc: 0},
+		Shutdown{},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for i, m := range sampleMsgs() {
+		seq := uint64(i * 13)
+		frame := Marshal(seq, m)
+		gotSeq, got, err := DecodeBody(frame[4:])
+		if err != nil {
+			t.Fatalf("msg %d (%T): decode: %v", i, m, err)
+		}
+		if gotSeq != seq {
+			t.Errorf("msg %d: seq %d, want %d", i, gotSeq, seq)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("msg %d (%T): round trip\n got %#v\nwant %#v", i, m, got, m)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMsgs()
+	for i, m := range msgs {
+		if err := WriteFrame(&buf, uint64(i), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range msgs {
+		seq, got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if seq != uint64(i) || !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got seq=%d %#v", i, seq, got)
+		}
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("want io.EOF at end of stream, got %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	good := Marshal(1, Ctl{Kind: CtlAck, From: 1, To: 0, Gen: 2, VC: []int32{0, 1}})[4:]
+
+	cases := []struct {
+		name string
+		body []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad version", append([]byte{Version + 1}, good[1:]...), ErrVersion},
+		{"unknown kind", []byte{Version, 0xEE, 0}, nil},
+		{"truncated payload", good[:len(good)-1], ErrTruncated},
+		{"trailing bytes", append(append([]byte{}, good...), 0), ErrTrailing},
+	}
+	for _, tc := range cases {
+		_, _, err := DecodeBody(tc.body)
+		if err == nil {
+			t.Errorf("%s: decode accepted", tc.name)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeHostileLengths(t *testing.T) {
+	// A vector-clock count far beyond the frame must fail cleanly, not
+	// allocate gigabytes.
+	body := []byte{Version, kindCtl, 0 /* seq */, byte(CtlReq), 0, 0, 0, 0}
+	body = append(body, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F) // huge VC count
+	if _, _, err := DecodeBody(body); err == nil {
+		t.Fatal("hostile VC count accepted")
+	}
+
+	// A length prefix beyond MaxFrame must be rejected before reading.
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameSize) {
+		t.Fatalf("oversized frame: got %v, want ErrFrameSize", err)
+	}
+}
+
+func TestReadFrameShortBody(t *testing.T) {
+	frame := Marshal(3, Hello{From: 1, N: 4})
+	_, _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-2]))
+	if err != io.ErrUnexpectedEOF {
+		t.Fatalf("short body: got %v, want ErrUnexpectedEOF", err)
+	}
+}
