@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline
+.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster
 
 all: check
 
@@ -36,6 +36,14 @@ bench-mem:
 # Regenerate the committed parallel-engine baseline (internal/expt E10).
 baseline:
 	$(GO) run ./cmd/pcbench -baseline BENCH_baseline.json
+
+# Regenerate the committed cluster baseline: real in-process clusters
+# over loopback TCP at 8..128 nodes, per-event vs batched capture
+# framing, plus the coordinator ingest micro-benchmark (see
+# internal/expt/cluster.go). Every run must end with the paper
+# invariants green.
+bench-cluster:
+	$(GO) run ./cmd/pcbench -cluster BENCH_cluster.json
 
 # Regenerate the committed allocation baseline. -pre embeds an earlier
 # sweep (measured on the pre-optimization tree) so the JSON records the

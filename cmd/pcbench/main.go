@@ -8,6 +8,8 @@
 //	pcbench -seed 42                       # change the workload seed
 //	pcbench -baseline BENCH_baseline.json  # record the parallel-engine baseline
 //	pcbench -membaseline BENCH_memory.json # record the allocation baseline
+//	pcbench -cluster BENCH_cluster.json    # record the networked-runtime sweep
+//	                                       # (real loopback clusters, 8..128 nodes)
 //	pcbench -membaseline X -pre OLD.json   # ... embedding OLD as the pre-change rows
 //	pcbench -compare BENCH_memory.json     # diff a fresh sweep against the file;
 //	                                       # exits 1 on allocs/op or ns/op regression
@@ -50,6 +52,7 @@ func main() {
 	seed := flag.Int64("seed", 1998, "workload seed")
 	baseline := flag.String("baseline", "", "write the parallel-engine baseline (E10 sweep) as JSON to this file and exit")
 	membaseline := flag.String("membaseline", "", "write the allocation baseline (allocs/op sweep) as JSON to this file and exit")
+	cluster := flag.String("cluster", "", "write the cluster baseline (loopback TCP sweep, per-event vs batched) as JSON to this file and exit")
 	pre := flag.String("pre", "", "with -membaseline: embed this earlier sweep as the pre-change rows and record reductions")
 	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
 	metrics := flag.Bool("metrics", false, "run the instrumented protocol sweep and dump its metrics in Prometheus text format")
@@ -101,6 +104,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *baseline)
+		return
+	}
+	if *cluster != "" {
+		doc, err := expt.ClusterJSON(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*cluster, doc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *cluster)
 		return
 	}
 	if *membaseline != "" {

@@ -20,6 +20,15 @@ import (
 	"predctl/internal/trace"
 )
 
+// batchFlags registers the capture-stream batching flags.
+func batchFlags(fs *flag.FlagSet) *node.Batching {
+	b := &node.Batching{}
+	fs.IntVar(&b.MaxItems, "batch-items", 0, "capture items per batch frame before an early flush (0 = default 128)")
+	fs.DurationVar(&b.Interval, "batch-interval", 0, "capture flush period (0 = default 2ms)")
+	fs.BoolVar(&b.PerEvent, "per-event", false, "disable capture batching: one frame per journal event / trace op / candidate")
+	return b
+}
+
 // faultFlags registers the fault-injection shim's flags.
 func faultFlags(fs *flag.FlagSet) *node.Faults {
 	f := &node.Faults{}
@@ -74,6 +83,7 @@ func cmdCluster(args []string) error {
 	metrics := fs.Bool("metrics", false, "dump protocol metrics in Prometheus text format")
 	timeline := fs.Int("timeline", 0, "print the last N merged journal events")
 	faults := faultFlags(fs)
+	batching := batchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,7 +96,7 @@ func cmdCluster(args []string) error {
 	res, err := node.RunCluster(node.ClusterConfig{
 		N: *n, Rounds: *rounds, Think: *think, CS: *cs,
 		Broadcast: *broadcast, Scapegoat: *scapegoat, Seed: *seed,
-		Faults: *faults, Journal: j, Reg: reg,
+		Faults: *faults, Batching: *batching, Journal: j, Reg: reg,
 	})
 	if err != nil {
 		return err
@@ -154,6 +164,7 @@ func cmdNode(args []string) error {
 	out := fs.String("o", "", "coordinator: write the captured trace here")
 	wait := fs.Duration("wait", 2*time.Minute, "coordinator: how long to wait for the cluster")
 	faults := faultFlags(fs)
+	batching := batchFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,7 +213,7 @@ func cmdNode(args []string) error {
 		ID: *id, N: *n, Addrs: addrs, Coord: *coord,
 		Scapegoat: *scapegoat, Broadcast: *broadcast,
 		Rounds: *rounds, Think: *think, CS: *cs,
-		Seed: *seed, Faults: *faults,
+		Seed: *seed, Faults: *faults, Batching: *batching,
 	})
 	if err != nil {
 		return err

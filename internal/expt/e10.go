@@ -100,7 +100,12 @@ func MeasureParallel(seed int64) *Baseline {
 		Note: "wall-clock scaling tracks available cores: on a multi-core host " +
 			"(≥4 CPUs) the large-trace rows reach ≥2x at 4 workers; on fewer cores " +
 			"the parallel paths degrade gracefully toward 1x (numCPU above records " +
-			"what this run had)",
+			"what this run had); the forced-cutoff rows (Cutoff: 1) deliberately " +
+			"bypass the size fallback to measure the raw sharded machinery — small " +
+			"traces regress there (speedup4 < 1), which is exactly what the " +
+			"'(default policy)' rows guard: below DefaultParCutoff / " +
+			"ParallelClockCutoff the default policy takes the sequential path and " +
+			"worker count must not matter (speedup4 ≈ 1)",
 	}
 	force := func(w int) detect.Par { return detect.Par{Workers: w, Cutoff: 1} }
 
@@ -126,6 +131,31 @@ func MeasureParallel(seed int64) *Baseline {
 			reg.Span("detect_definitely", func() {
 				detect.DefinitelyTruthPar(big, func(p, k int) bool { return truthHigh[p][k] }, force(w))
 			})
+		}),
+	)
+
+	// Small-trace regression guard. The forced-cutoff rows above measure
+	// the raw parallel machinery; on a small trace that machinery *loses*
+	// (barrier cost exceeds the scan — the recorded regression was
+	// speedup4 ≈ 0.5 for detect-possibly). These rows run the same entry
+	// points under the default policy, where DefaultParCutoff /
+	// ParallelClockCutoff route sub-threshold inputs to the sequential
+	// path: worker count must make no difference, pinning speedup4 ≈ 1.
+	smallBuilder := deposet.RandomBuilder(r, deposet.DefaultGen(8, detect.DefaultParCutoff/2))
+	small := smallBuilder.MustBuild()
+	smallLow := deposet.RandomTruth(r, small, 0.05)
+	smallHigh := deposet.RandomTruth(r, small, 0.6)
+	b.Results = append(b.Results,
+		measure("deposet-build-small (default policy)", 8, small.NumStates(), 0, func(int) {
+			if _, err := smallBuilder.Build(); err != nil {
+				panic(err)
+			}
+		}),
+		measure("detect-possibly-small (default policy)", 8, small.NumStates(), 0, func(w int) {
+			detect.PossiblyTruthPar(small, func(p, k int) bool { return smallLow[p][k] }, detect.Par{Workers: w})
+		}),
+		measure("detect-definitely-small (default policy)", 8, small.NumStates(), 0, func(w int) {
+			detect.DefinitelyTruthPar(small, func(p, k int) bool { return smallHigh[p][k] }, detect.Par{Workers: w})
 		}),
 	)
 

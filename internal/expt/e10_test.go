@@ -24,6 +24,9 @@ func TestBaselineJSONShape(t *testing.T) {
 		"deposet-build/clocks": false, "detect-possibly": false,
 		"detect-definitely": false, "offline-control n=32 p=128": false,
 		"batch-detect": false, "batch-control": false,
+		"deposet-build-small (default policy)":     false,
+		"detect-possibly-small (default policy)":   false,
+		"detect-definitely-small (default policy)": false,
 	}
 	for _, m := range b.Results {
 		if _, ok := want[m.Name]; !ok {

@@ -32,6 +32,13 @@ type capture struct {
 	ops      []wire.TraceOp
 	appState int    // app-process traced state index (0 = ⊥)
 	nextMsg  uint64 // per-node message counter for TraceIDs
+
+	// kick, when set (before the run's goroutines start, so no lock
+	// guards it), is invoked whenever the buffer reaches kickAt ops —
+	// the size half of the coordinator stream's size-or-interval flush
+	// policy (the interval half is the coordClient flusher's tick).
+	kick   func()
+	kickAt int
 }
 
 // msgID mints a globally unique trace id for a message sent by logical
@@ -49,7 +56,11 @@ func (c *capture) append(op wire.TraceOp) {
 	}
 	c.mu.Lock()
 	c.ops = append(c.ops, op)
+	n := len(c.ops)
 	c.mu.Unlock()
+	if c.kick != nil && n >= c.kickAt {
+		c.kick()
+	}
 }
 
 // appendApp appends an op for the app process and returns the app's
@@ -64,7 +75,11 @@ func (c *capture) appendApp(op wire.TraceOp) int {
 		c.appState++
 	}
 	s := c.appState
+	n := len(c.ops)
 	c.mu.Unlock()
+	if c.kick != nil && n >= c.kickAt {
+		c.kick()
+	}
 	return s
 }
 

@@ -23,6 +23,8 @@ type ClusterConfig struct {
 	Seed      int64
 	Faults    Faults
 	Timeouts  Timeouts
+	// Batching is every node's capture-stream flush policy.
+	Batching Batching
 	// Journal receives the coordinator's merged cluster journal (nodes'
 	// control events and candidates). May be nil.
 	Journal      *obs.Journal
@@ -87,8 +89,8 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 				Scapegoat: cfg.Scapegoat, Broadcast: cfg.Broadcast,
 				Rounds: cfg.Rounds, Think: cfg.Think, CS: cfg.CS,
 				Seed: cfg.Seed, Faults: cfg.Faults, Timeouts: cfg.Timeouts,
-				Listener: listeners[i],
-				Reg:      cfg.Reg, MetricLabels: cfg.MetricLabels,
+				Batching: cfg.Batching, Listener: listeners[i],
+				Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
 				Logf: cfg.Logf, Start: start,
 			})
 		}(i)

@@ -12,23 +12,72 @@ import (
 	"predctl/internal/wire"
 )
 
+// Batching is the size-or-interval flush policy for a node's
+// coordinator capture stream. Journal events and trace ops accumulate
+// on the node and are flushed as wire.JournalBatch / wire.TraceOpBatch
+// frames when MaxItems are pending or Interval elapses, whichever
+// comes first — hundreds of nodes each emitting thousands of capture
+// items must not mean one TCP frame (and one syscall at each end) per
+// item. Zero values take the defaults below.
+type Batching struct {
+	// MaxItems caps the items carried per batch frame and triggers an
+	// early flush when that many are pending. Default 128.
+	MaxItems int
+	// Interval is the flush period while below MaxItems; it bounds how
+	// stale the coordinator's view can go. Default 2ms.
+	Interval time.Duration
+	// PerEvent disables batching: every journal event and trace op
+	// rides its own frame, the pre-batching wire behavior. It exists as
+	// the bench baseline and as a debugging aid (per-event frames are
+	// easier to correlate with a packet capture).
+	PerEvent bool
+}
+
+func (b Batching) withDefaults() Batching {
+	if b.MaxItems <= 0 {
+		b.MaxItems = 128
+	}
+	if b.Interval <= 0 {
+		b.Interval = 2 * time.Millisecond
+	}
+	return b
+}
+
 // coordClient is a node's stream to the coordinator: Hello, then trace
 // batches, forwarded journal events, candidates and Done frames out;
 // Shutdown in. The stream rides plain TCP — it is exempt from the fault
 // shim (perturbing the capture would test the harness, not the
 // protocol) so no ARQ is layered on it.
+//
+// Capture traffic is batched: journal events and candidates buffer in
+// pendJournal / pendCands and trace ops stay in the node's capture
+// until the flusher goroutine drains all three on the Batching policy.
+// Control frames (Done, Shutdown bye) are latency-relevant and
+// once-per-run, so they bypass the batcher and write through
+// immediately.
 type coordClient struct {
 	conn       net.Conn
 	mu         sync.Mutex // serializes writes
 	seq        uint64
 	opt        Timeouts
+	batch      Batching
+	wm         wireMeters
 	logf       func(string, ...any)
 	shutdownCh chan struct{} // closed when the coordinator says stop (or vanishes)
 	closeOnce  sync.Once
+
+	pendMu      sync.Mutex
+	pendJournal []wire.JournalEvent
+	pendCands   []wire.Candidate
+
+	take      func() []wire.TraceOp // drains the node's capture; set by startFlusher
+	kick      chan struct{}         // cap 1: a size threshold was crossed
+	flushQuit chan struct{}
+	flushDone chan struct{}
 }
 
 // dialCoord connects to the coordinator, retrying while it comes up.
-func dialCoord(addr string, id, n int, opt Timeouts, logf func(string, ...any)) (*coordClient, error) {
+func dialCoord(addr string, id, n int, batch Batching, wm wireMeters, opt Timeouts, logf func(string, ...any)) (*coordClient, error) {
 	var conn net.Conn
 	var err error
 	deadline := time.Now().Add(opt.DialTimeout * 5)
@@ -45,7 +94,13 @@ func dialCoord(addr string, id, n int, opt Timeouts, logf func(string, ...any)) 
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	cc := &coordClient{conn: conn, opt: opt, logf: logf, shutdownCh: make(chan struct{})}
+	cc := &coordClient{
+		conn: conn, opt: opt, batch: batch.withDefaults(), wm: wm, logf: logf,
+		shutdownCh: make(chan struct{}),
+		kick:       make(chan struct{}, 1),
+		flushQuit:  make(chan struct{}),
+		flushDone:  make(chan struct{}),
+	}
 	cc.send(wire.Hello{From: int32(id), N: int32(n)})
 	go cc.reader(id)
 	return cc, nil
@@ -75,28 +130,148 @@ func (cc *coordClient) signalShutdown() {
 	cc.closeOnce.Do(func() { close(cc.shutdownCh) })
 }
 
-// send writes one frame; errors are logged, not fatal — the run is
-// ending anyway if the coordinator is gone, via reader above.
-func (cc *coordClient) send(m wire.Msg) {
+// send writes one frame through the pooled encode path; errors are
+// logged, not fatal — the run is ending anyway if the coordinator is
+// gone, via reader above.
+func (cc *coordClient) send(m wire.Msg) { cc.sendItems(m, 1) }
+
+// sendItems is send with the frame's capture-item count, feeding the
+// batch-size histogram (per-event frames observe 1, batch frames the
+// batch length — the distribution the cluster bench reports).
+func (cc *coordClient) sendItems(m wire.Msg, items int) {
+	b := wire.GetBuffer()
 	cc.mu.Lock()
-	defer cc.mu.Unlock()
 	cc.seq++
+	b.B = wire.AppendFrame(b.B[:0], cc.seq, m)
+	cc.wm.frames.Inc()
+	cc.wm.bytes.Add(int64(len(b.B)))
+	cc.wm.batch.Observe(int64(items))
 	cc.conn.SetWriteDeadline(time.Now().Add(cc.opt.WriteTimeout))
-	if err := wire.WriteFrame(cc.conn, cc.seq, m); err != nil && !errors.Is(err, net.ErrClosed) {
+	if _, err := cc.conn.Write(b.B); err != nil && !errors.Is(err, net.ErrClosed) {
 		cc.logf("node: coordinator write: %v", err)
 	}
+	cc.mu.Unlock()
+	wire.PutBuffer(b)
 }
 
-// sendJournal forwards one journal event. Nil-safe like the journal
-// itself so instrumentation sites need no guards.
+// sendJournal forwards one journal event — immediately in PerEvent
+// mode, else into the pending batch (kicking the flusher at the size
+// threshold). Nil-safe like the journal itself so instrumentation
+// sites need no guards.
 func (cc *coordClient) sendJournal(e obs.Event) {
 	if cc == nil {
 		return
 	}
-	cc.send(wire.JournalEvent{
+	we := wire.JournalEvent{
 		At: e.At, Proc: int32(e.Proc), Kind: uint8(e.Kind), Name: e.Name,
 		A: e.A, B: e.B, C: e.C, VC: e.VC,
-	})
+	}
+	if cc.batch.PerEvent {
+		cc.send(we)
+		return
+	}
+	cc.pendMu.Lock()
+	cc.pendJournal = append(cc.pendJournal, we)
+	full := len(cc.pendJournal) >= cc.batch.MaxItems
+	cc.pendMu.Unlock()
+	if full {
+		cc.kickFlush()
+	}
+}
+
+// sendCandidate forwards one monitor candidate — immediately in
+// PerEvent mode, else into the pending batch. Candidates are consumed
+// only at assembly time, so deferring them to the next flush loses
+// nothing; at one candidate per node per round they otherwise dominate
+// the unbatchable frame count.
+func (cc *coordClient) sendCandidate(v wire.Candidate) {
+	if cc.batch.PerEvent {
+		cc.send(v)
+		return
+	}
+	cc.pendMu.Lock()
+	cc.pendCands = append(cc.pendCands, v)
+	full := len(cc.pendCands) >= cc.batch.MaxItems
+	cc.pendMu.Unlock()
+	if full {
+		cc.kickFlush()
+	}
+}
+
+// kickFlush nudges the flusher ahead of its interval tick.
+func (cc *coordClient) kickFlush() {
+	select {
+	case cc.kick <- struct{}{}:
+	default:
+	}
+}
+
+// startFlusher begins periodic draining of the journal pending buffer
+// and the node's capture (via take) onto the stream.
+func (cc *coordClient) startFlusher(take func() []wire.TraceOp) {
+	cc.take = take
+	go cc.flusher()
+}
+
+func (cc *coordClient) flusher() {
+	defer close(cc.flushDone)
+	tick := time.NewTicker(cc.batch.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-cc.flushQuit:
+			return
+		case <-cc.kick:
+		case <-tick.C:
+		}
+		cc.flush()
+	}
+}
+
+// stopFlusher ends the flusher goroutine and drains everything still
+// pending, so the stream is complete before the final Done and bye. It
+// is a no-op if startFlusher was never called.
+func (cc *coordClient) stopFlusher() {
+	if cc.take == nil {
+		return
+	}
+	close(cc.flushQuit)
+	<-cc.flushDone
+	cc.flush()
+}
+
+// flush drains pending journal events and captured trace ops as batch
+// frames of at most MaxItems items each (in PerEvent mode, as one
+// frame per item). Called from the flusher goroutine and, once it has
+// stopped, from stopFlusher.
+func (cc *coordClient) flush() {
+	cc.pendMu.Lock()
+	events := cc.pendJournal
+	cands := cc.pendCands
+	cc.pendJournal, cc.pendCands = nil, nil
+	cc.pendMu.Unlock()
+	for len(events) > 0 {
+		n := min(len(events), cc.batch.MaxItems)
+		cc.sendItems(wire.JournalBatch{Events: events[:n]}, n)
+		events = events[n:]
+	}
+	for len(cands) > 0 {
+		n := min(len(cands), cc.batch.MaxItems)
+		cc.sendItems(wire.CandidateBatch{Cands: cands[:n]}, n)
+		cands = cands[n:]
+	}
+	ops := cc.take()
+	if cc.batch.PerEvent {
+		for _, op := range ops {
+			cc.send(wire.Trace{Ops: []wire.TraceOp{op}})
+		}
+		return
+	}
+	for len(ops) > 0 {
+		n := min(len(ops), cc.batch.MaxItems)
+		cc.sendItems(wire.TraceOpBatch{Ops: ops[:n]}, n)
+		ops = ops[n:]
+	}
 }
 
 func (cc *coordClient) close() { cc.conn.Close() }
@@ -126,6 +301,17 @@ type Result struct {
 	Candidates int
 }
 
+// nodeStream is one connection's staging buffer: trace ops accumulate
+// here in arrival order, touched only by that connection's handler
+// goroutine, and are merged by process at Wait — so the hot ingest
+// path never contends on the coordinator mutex. Per-process order
+// survives the merge because each logical process's ops come from
+// exactly one node's stream.
+type nodeStream struct {
+	id  int
+	ops []wire.TraceOp
+}
+
 // Coordinator collects the capture streams of a node cluster and
 // reassembles them into a deposet trace plus a merged journal. Protocol
 // flow: nodes connect and stream; after all N report Done the
@@ -140,7 +326,7 @@ type Coordinator struct {
 	logf    func(string, ...any)
 
 	mu         sync.Mutex
-	ops        [][]wire.TraceOp // by logical process 0..2n-1
+	streams    []*nodeStream // per-connection staging, merged at Wait
 	stats      []Stats
 	candidates int
 	doneSeen   []bool
@@ -178,7 +364,6 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cands:    cfg.Reg.Counter("predctl_monitor_candidates_total", cfg.MetricLabels...),
 		opt:      cfg.Timeouts.withDefaults(),
 		logf:     logf,
-		ops:      make([][]wire.TraceOp, 2*cfg.N),
 		stats:    make([]Stats, cfg.N),
 		doneSeen: make([]bool, cfg.N),
 		conns:    map[int]net.Conn{},
@@ -194,7 +379,8 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
 // Wait blocks until every node's capture stream completed (or timeout),
-// then assembles and returns the run.
+// then merges the per-connection staging buffers by logical process and
+// assembles the run.
 func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 	select {
 	case <-c.allByes:
@@ -209,7 +395,7 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 	c.Close()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d, err := assemble(c.n, c.ops)
+	d, err := assemble(c.n, c.mergeStaging())
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +404,35 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 		Stats:      append([]Stats(nil), c.stats...),
 		Candidates: c.candidates,
 	}, nil
+}
+
+// mergeStaging buckets every staged trace op by logical process.
+// Caller holds c.mu; the staging buffers themselves are quiescent by
+// now (every handler synchronized through c.mu when counting its bye).
+func (c *Coordinator) mergeStaging() [][]wire.TraceOp {
+	counts := make([]int, 2*c.n)
+	for _, st := range c.streams {
+		for i := range st.ops {
+			if p := int(st.ops[i].Proc); p >= 0 && p < 2*c.n {
+				counts[p]++
+			}
+		}
+	}
+	byProc := make([][]wire.TraceOp, 2*c.n)
+	for p, n := range counts {
+		byProc[p] = make([]wire.TraceOp, 0, n)
+	}
+	for _, st := range c.streams {
+		for _, op := range st.ops {
+			p := int(op.Proc)
+			if p < 0 || p >= 2*c.n {
+				c.logf("coordinator: node %d: trace op for process %d dropped", st.id, p)
+				continue
+			}
+			byProc[p] = append(byProc[p], op)
+		}
+	}
+	return byProc
 }
 
 // Close shuts the coordinator's listener and connections down.
@@ -257,7 +472,8 @@ func (c *Coordinator) acceptLoop() {
 	}
 }
 
-// handleNode serves one node's capture stream.
+// handleNode serves one node's capture stream into its own staging
+// buffer.
 func (c *Coordinator) handleNode(conn net.Conn) {
 	defer conn.Close()
 	br := bufReader(conn)
@@ -273,8 +489,10 @@ func (c *Coordinator) handleNode(conn net.Conn) {
 		return
 	}
 	id := int(hello.From)
+	st := &nodeStream{id: id}
 	c.mu.Lock()
 	c.conns[id] = conn
+	c.streams = append(c.streams, st)
 	c.mu.Unlock()
 	for {
 		// Generous read deadline: nodes stream continuously while alive,
@@ -291,41 +509,41 @@ func (c *Coordinator) handleNode(conn net.Conn) {
 			}
 			return
 		}
-		if bye := c.consume(id, m); bye {
+		if bye := c.ingest(id, st, m); bye {
 			return
 		}
 	}
 }
 
-// consume folds one frame from node id into the coordinator state,
-// reporting whether it was the node's final bye.
-func (c *Coordinator) consume(id int, m wire.Msg) (bye bool) {
+// ingest folds one frame from node id into the coordinator state,
+// reporting whether it was the node's final bye. Trace traffic — the
+// volume — lands in the connection's own staging buffer and the
+// journal (which has its own lock); only the rare coordination frames
+// (Candidate, Done, Shutdown) touch c.mu.
+func (c *Coordinator) ingest(id int, st *nodeStream, m wire.Msg) (bye bool) {
 	switch v := m.(type) {
 	case wire.Trace:
-		c.mu.Lock()
-		for _, op := range v.Ops {
-			p := int(op.Proc)
-			if p < 0 || p >= 2*c.n {
-				c.logf("coordinator: node %d: trace op for process %d dropped", id, p)
-				continue
-			}
-			c.ops[p] = append(c.ops[p], op)
-		}
-		c.mu.Unlock()
+		st.ops = append(st.ops, v.Ops...)
+	case wire.TraceOpBatch:
+		st.ops = append(st.ops, v.Ops...)
 	case wire.JournalEvent:
 		c.journal.Append(obs.Event{
 			At: v.At, Proc: int(v.Proc), Kind: obs.Kind(v.Kind), Name: v.Name,
 			A: v.A, B: v.B, C: v.C, VC: v.VC,
 		})
+	case wire.JournalBatch:
+		for _, e := range v.Events {
+			c.journal.Append(obs.Event{
+				At: e.At, Proc: int(e.Proc), Kind: obs.Kind(e.Kind), Name: e.Name,
+				A: e.A, B: e.B, C: e.C, VC: e.VC,
+			})
+		}
 	case wire.Candidate:
-		c.cands.Inc()
-		c.mu.Lock()
-		c.candidates++
-		c.mu.Unlock()
-		c.journal.Append(obs.Event{
-			Proc: int(v.Proc), Kind: obs.KindControl, Name: "monitor.candidate",
-			A: v.LoIdx, B: v.HiIdx, VC: v.Hi,
-		})
+		c.ingestCandidate(v)
+	case wire.CandidateBatch:
+		for _, cand := range v.Cands {
+			c.ingestCandidate(cand)
+		}
 	case wire.Done:
 		c.mu.Lock()
 		c.stats[id] = Stats{
@@ -359,6 +577,38 @@ func (c *Coordinator) consume(id int, m wire.Msg) (bye bool) {
 		c.logf("coordinator: node %d: unexpected %T", id, m)
 	}
 	return false
+}
+
+func (c *Coordinator) ingestCandidate(v wire.Candidate) {
+	c.cands.Inc()
+	c.mu.Lock()
+	c.candidates++
+	c.mu.Unlock()
+	c.journal.Append(obs.Event{
+		Proc: int(v.Proc), Kind: obs.KindControl, Name: "monitor.candidate",
+		A: v.LoIdx, B: v.HiIdx, VC: v.Hi,
+	})
+}
+
+// IngestBench replays pre-encoded frame bodies through the
+// coordinator's decode-and-stage path — exactly what handleNode does
+// per frame, minus the socket — so the cluster bench can measure
+// ingest allocations per trace op without standing up a listener. It
+// returns the number of trace ops staged.
+func IngestBench(n int, journal *obs.Journal, bodies [][]byte) (int, error) {
+	c := &Coordinator{
+		n: n, journal: journal, logf: func(string, ...any) {},
+		stats: make([]Stats, n), doneSeen: make([]bool, n),
+	}
+	st := &nodeStream{id: 0}
+	for _, body := range bodies {
+		_, m, err := wire.DecodeBody(body)
+		if err != nil {
+			return 0, err
+		}
+		c.ingest(0, st, m)
+	}
+	return len(st.ops), nil
 }
 
 // broadcastShutdown tells every node the cluster is done. Exactly one

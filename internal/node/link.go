@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"predctl/internal/obs"
 	"predctl/internal/wire"
 )
 
@@ -20,11 +21,19 @@ import (
 // fault-injection shim (and, across reconnects, TCP itself) may lose
 // frames: every protocol frame carries a sender-assigned sequence
 // number, the receiver acknowledges cumulatively (wire.LinkAck riding
-// its own reverse link), and a retransmit tick re-sends everything
+// its own reverse link), and a retransmit pass re-sends everything
 // unacknowledged. Writes happen on a single writer goroutine — sends
 // enqueue and never block the protocol — with per-write deadlines, and
 // a failed or absent connection is re-dialed with capped exponential
 // backoff.
+//
+// The write path is allocation-lean and coalescing: frames are encoded
+// into pooled buffers (wire.GetBuffer) that double as the retransmit
+// copy and return to the pool when acknowledged, and the writer drains
+// every frame that accumulated since its last wake into one buffer —
+// one syscall — per wake. The retransmit timer is demand-armed (set
+// only while unacknowledged frames exist) rather than free-running: a
+// 128-node mesh has 16k links, and idle ones must cost nothing.
 type link struct {
 	from, to int
 	addr     string
@@ -32,31 +41,65 @@ type link struct {
 	faults   *faultRand
 	opt      Timeouts
 	logf     func(string, ...any)
+	wm       wireMeters
 
 	mu      sync.Mutex // guards nextSeq, unacked
 	nextSeq uint64
 	unacked []outFrame
 
-	outCh     chan []byte   // frames enqueued for first transmission
-	ackFlag   chan struct{} // cap 1: an ack is pending in ackCum
-	ackCum    atomic.Uint64 // highest cumulative ack to announce (+1, so 0 = none)
-	done      chan struct{}
-	wg        sync.WaitGroup
+	sendFlag chan struct{} // cap 1: unsent frames are pending in unacked
+	ackFlag  chan struct{} // cap 1: an ack is pending in ackCum
+	ackCum   atomic.Uint64 // highest cumulative ack to announce (+1, so 0 = none)
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	// Writer-goroutine-owned scratch: frame bytes are copied out of the
+	// pooled buffers under l.mu, so an ack racing the write can return a
+	// buffer to the pool without the writer observing the reuse.
+	wbuf  []byte
+	marks []int // end offset of each frame within wbuf
+	abuf  []byte
+
 	connMu    sync.Mutex // guards conn for close-from-outside
 	conn      net.Conn
 	dialFails int
 	nextDial  time.Time
 }
 
+// outFrame is one sequenced frame awaiting acknowledgement. buf is
+// pool-owned: onAck returns it when the peer acknowledges. sent
+// distinguishes first transmission (writer wake) from retransmission
+// (RTO pass re-sends everything, sent or not).
 type outFrame struct {
-	seq uint64
-	buf []byte
+	seq  uint64
+	buf  *wire.Buffer
+	sent bool
+}
+
+// wireMeters counts a stream's wire traffic: frames put on the wire,
+// bytes written, and frames coalesced per write (the batch size the
+// cluster bench reports). Nil-safe via the obs instruments.
+type wireMeters struct {
+	frames *obs.Counter
+	bytes  *obs.Counter
+	batch  *obs.Histogram
+}
+
+// newWireMeters resolves the wire metrics for one stream ("mesh" for
+// node↔node links, "coord" for the capture stream).
+func newWireMeters(reg *obs.Registry, stream string, labels []obs.Label) wireMeters {
+	ls := append(append([]obs.Label{}, labels...), obs.L("stream", stream))
+	return wireMeters{
+		frames: reg.Counter("predctl_wire_frames_total", ls...),
+		bytes:  reg.Counter("predctl_wire_bytes_total", ls...),
+		batch:  reg.Histogram("predctl_wire_batch_size", ls...),
+	}
 }
 
 // Timeouts bundles the link/transport tunables. Zero values take the
 // defaults below.
 type Timeouts struct {
-	RTO          time.Duration // retransmit scan interval
+	RTO          time.Duration // retransmit delay while frames are unacknowledged
 	DialTimeout  time.Duration
 	WriteTimeout time.Duration
 	IdleTimeout  time.Duration // read deadline renewal window
@@ -79,15 +122,16 @@ func (t Timeouts) withDefaults() Timeouts {
 	return t
 }
 
-func newLink(from, to, n int, addr string, faults Faults, opt Timeouts, logf func(string, ...any)) *link {
+func newLink(from, to, n int, addr string, faults Faults, opt Timeouts, wm wireMeters, logf func(string, ...any)) *link {
 	l := &link{
 		from: from, to: to, addr: addr, n: n,
-		faults:  newFaultRand(faults, from, to),
-		opt:     opt,
-		logf:    logf,
-		outCh:   make(chan []byte, 256),
-		ackFlag: make(chan struct{}, 1),
-		done:    make(chan struct{}),
+		faults:   newFaultRand(faults, from, to),
+		opt:      opt,
+		logf:     logf,
+		wm:       wm,
+		sendFlag: make(chan struct{}, 1),
+		ackFlag:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
 	}
 	l.wg.Add(1)
 	go l.writer()
@@ -95,18 +139,20 @@ func newLink(from, to, n int, addr string, faults Faults, opt Timeouts, logf fun
 }
 
 // Send enqueues m for reliable delivery. It never blocks: the frame is
-// registered as unacknowledged first, so even when the queue is full
-// the retransmit tick will carry it.
+// registered as unacknowledged and the writer is nudged; a missed nudge
+// is harmless because the writer drains *all* unsent frames per wake.
 func (l *link) Send(m wire.Msg) {
+	b := wire.GetBuffer()
 	l.mu.Lock()
 	l.nextSeq++
-	seq := l.nextSeq
-	buf := wire.Marshal(seq, m)
-	l.unacked = append(l.unacked, outFrame{seq: seq, buf: buf})
+	// Encoding under l.mu keeps unacked sorted by seq (onAck's prune and
+	// the retransmit pass rely on it); AppendFrame is allocation-free.
+	b.B = wire.AppendFrame(b.B[:0], l.nextSeq, m)
+	l.unacked = append(l.unacked, outFrame{seq: l.nextSeq, buf: b})
 	l.mu.Unlock()
 	select {
-	case l.outCh <- buf:
-	default: // queue full: the RTO scan retransmits it
+	case l.sendFlag <- struct{}{}:
+	default: // writer already has a wake pending
 	}
 }
 
@@ -129,11 +175,15 @@ func (l *link) Ack(cum uint64) {
 	}
 }
 
-// onAck prunes frames acknowledged by the peer.
+// onAck prunes frames acknowledged by the peer, returning their buffers
+// to the pool. Safe against an in-flight write: the writer copied the
+// bytes out under l.mu before writing.
 func (l *link) onAck(cum uint64) {
 	l.mu.Lock()
 	i := 0
 	for i < len(l.unacked) && l.unacked[i].seq <= cum {
+		wire.PutBuffer(l.unacked[i].buf)
+		l.unacked[i].buf = nil
 		i++
 	}
 	l.unacked = l.unacked[i:]
@@ -149,6 +199,12 @@ func (l *link) close() {
 	}
 	l.dropConn()
 	l.wg.Wait()
+	l.mu.Lock()
+	for _, f := range l.unacked {
+		wire.PutBuffer(f.buf)
+	}
+	l.unacked = nil
+	l.mu.Unlock()
 }
 
 func (l *link) dropConn() {
@@ -162,73 +218,111 @@ func (l *link) dropConn() {
 
 // writer is the link's single writer goroutine: first transmissions,
 // retransmissions and acks all funnel here, so frames never interleave
-// on the stream.
+// on the stream. The RTO timer is demand-armed: it runs only while
+// unacknowledged frames exist, so a quiet link costs no wakeups.
 func (l *link) writer() {
 	defer l.wg.Done()
-	ticker := time.NewTicker(l.opt.RTO)
-	defer ticker.Stop()
+	rto := time.NewTimer(l.opt.RTO)
+	if !rto.Stop() {
+		<-rto.C
+	}
+	defer rto.Stop()
+	armed := false
+	arm := func() {
+		if armed {
+			return
+		}
+		l.mu.Lock()
+		pending := len(l.unacked) > 0
+		l.mu.Unlock()
+		if pending {
+			rto.Reset(l.opt.RTO)
+			armed = true
+		}
+	}
 	for {
 		select {
 		case <-l.done:
 			return
-		case buf := <-l.outCh:
-			l.transmit(buf, true)
+		case <-l.sendFlag:
+			l.flush(false)
+			arm()
+		case <-rto.C:
+			armed = false
+			l.flush(true)
+			arm()
 		case <-l.ackFlag:
 			if cum := l.ackCum.Load(); cum > 0 {
-				l.writeFrame(wire.Marshal(0, wire.LinkAck{Cum: cum - 1}))
+				// Acks are fault-exempt (idempotent and self-healing; a
+				// shim-dropped ack under receiver dedup would retransmit
+				// forever) and never coalesce into a faulted batch.
+				l.abuf = wire.AppendFrame(l.abuf[:0], 0, wire.LinkAck{Cum: cum - 1})
+				l.wm.frames.Inc()
+				l.wm.bytes.Add(int64(len(l.abuf)))
+				l.writeFrame(l.abuf)
 			}
-		case <-ticker.C:
-			l.retransmit()
 		}
 	}
 }
 
-// retransmit re-sends every unacknowledged frame, oldest first.
-func (l *link) retransmit() {
+// flush puts pending frames on the wire: the unsent tail on a send
+// wake, everything unacknowledged on an RTO pass. Frame bytes are
+// copied into the writer-owned wbuf under l.mu — the pooled per-frame
+// buffers may be reclaimed by onAck the instant the lock drops — and
+// the clean path writes the whole batch with a single syscall. With
+// the fault shim active, decisions stay per frame (drop/dup/delay are
+// per-write-attempt semantics), so frames are written individually.
+func (l *link) flush(retransmit bool) {
+	l.wbuf = l.wbuf[:0]
+	l.marks = l.marks[:0]
 	l.mu.Lock()
-	pending := make([][]byte, len(l.unacked))
-	for i, f := range l.unacked {
-		pending[i] = f.buf
+	for i := range l.unacked {
+		f := &l.unacked[i]
+		if f.sent && !retransmit {
+			continue
+		}
+		f.sent = true
+		l.wbuf = append(l.wbuf, f.buf.B...)
+		l.marks = append(l.marks, len(l.wbuf))
 	}
 	l.mu.Unlock()
-	for _, buf := range pending {
-		select {
-		case <-l.done:
-			return
-		default:
-		}
-		l.transmit(buf, true)
-	}
-}
-
-// transmit puts one frame on the wire, applying the fault shim when
-// asked: drop skips the write (recovery via retransmit), dup writes
-// twice (recovery via receiver dedup), delay sleeps first (the modeled
-// link latency).
-func (l *link) transmit(buf []byte, withFaults bool) {
-	var d decision
-	if withFaults {
-		d = l.faults.next()
-	}
-	if d.delay > 0 {
-		select {
-		case <-l.done:
-			return
-		case <-time.After(d.delay):
-		}
-	}
-	if d.drop {
+	if len(l.marks) == 0 {
 		return
 	}
-	l.writeFrame(buf)
-	if d.dup {
-		l.writeFrame(buf)
+	l.wm.frames.Add(int64(len(l.marks)))
+	l.wm.batch.Observe(int64(len(l.marks)))
+	if l.faults == nil {
+		l.wm.bytes.Add(int64(len(l.wbuf)))
+		l.writeFrame(l.wbuf)
+		return
+	}
+	start := 0
+	for _, end := range l.marks {
+		frame := l.wbuf[start:end]
+		start = end
+		d := l.faults.next()
+		if d.delay > 0 {
+			select {
+			case <-l.done:
+				return
+			case <-time.After(d.delay):
+			}
+		}
+		if d.drop {
+			continue
+		}
+		l.wm.bytes.Add(int64(len(frame)))
+		l.writeFrame(frame)
+		if d.dup {
+			l.wm.bytes.Add(int64(len(frame)))
+			l.writeFrame(frame)
+		}
 	}
 }
 
-// writeFrame writes one already-encoded frame with a deadline,
-// (re)dialing first if needed. Errors drop the connection; recovery is
-// the retransmit tick's job.
+// writeFrame writes one already-encoded frame (or coalesced batch) with
+// a deadline, (re)dialing first if needed. Errors drop the connection;
+// recovery is the retransmit pass's job.
 func (l *link) writeFrame(buf []byte) {
 	conn := l.ensureConn()
 	if conn == nil {
@@ -275,7 +369,7 @@ func (l *link) ensureConn() net.Conn {
 		tc.SetNoDelay(true)
 	}
 	// Handshake; the unacknowledged tail is replayed by the next RTO
-	// scan, and the peer's dedup makes the replay harmless.
+	// pass, and the peer's dedup makes the replay harmless.
 	c.SetWriteDeadline(time.Now().Add(l.opt.WriteTimeout))
 	if _, err := c.Write(wire.Marshal(0, wire.Hello{From: int32(l.from), N: int32(l.n)})); err != nil {
 		c.Close()

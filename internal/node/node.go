@@ -59,7 +59,10 @@ type Config struct {
 	Seed      int64
 	Faults    Faults
 	Timeouts  Timeouts
-	Listener  net.Listener // optional pre-bound listener for this node
+	// Batching is the flush policy for the coordinator capture stream
+	// (zero value: batch frames of ≤128 items flushed every 2ms).
+	Batching Batching
+	Listener net.Listener // optional pre-bound listener for this node
 	// Journal, when non-nil, receives this node's local copy of the
 	// control events (the coordinator gets them too, via the capture
 	// stream).
@@ -185,13 +188,16 @@ func Run(cfg Config) (*Stats, error) {
 		start = time.Now()
 	}
 	opt := cfg.Timeouts.withDefaults()
-	cc, err := dialCoord(cfg.Coord, cfg.ID, cfg.N, opt, logf)
+	batch := cfg.Batching.withDefaults()
+	cwm := newWireMeters(cfg.Reg, "coord", cfg.MetricLabels)
+	cc, err := dialCoord(cfg.Coord, cfg.ID, cfg.N, batch, cwm, opt, logf)
 	if err != nil {
 		return nil, err
 	}
 	tr, err := NewTransport(TransportConfig{
 		ID: cfg.ID, N: cfg.N, Addrs: cfg.Addrs, Listener: cfg.Listener,
-		Faults: cfg.Faults, Timeouts: cfg.Timeouts, Logf: logf,
+		Faults: cfg.Faults, Timeouts: cfg.Timeouts,
+		Reg: cfg.Reg, MetricLabels: cfg.MetricLabels, Logf: logf,
 	})
 	if err != nil {
 		cc.close()
@@ -200,26 +206,30 @@ func Run(cfg Config) (*Stats, error) {
 	nd := &node{
 		cfg: cfg, app: cfg.ID, ctl: cfg.N + cfg.ID,
 		tr: tr, cc: cc,
-		cap:     &capture{enabled: true},
-		clk:     newClock(cfg.N, cfg.ID),
-		rng:     rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919)),
-		m:       newMeters(cfg.Reg, cfg.MetricLabels),
-		start:   start,
-		logf:    logf,
-		journal: cfg.Journal,
+		cap:       &capture{enabled: true},
+		clk:       newClock(cfg.N, cfg.ID),
+		rng:       rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919)),
+		m:         newMeters(cfg.Reg, cfg.MetricLabels),
+		start:     start,
+		logf:      logf,
+		journal:   cfg.Journal,
 		ctlIn:     make(chan localInput, 4),
 		grantCh:   make(chan grantMsg, 1),
 		ctlQuit:   make(chan struct{}),
 		ctlExited: make(chan struct{}),
 		appDone:   make(chan struct{}),
 	}
+	// The capture's size trigger and the coordClient's interval tick
+	// together implement the size-or-interval flush policy.
+	nd.cap.kick, nd.cap.kickAt = cc.kickFlush, batch.MaxItems
+	cc.startFlusher(nd.cap.take)
 	go nd.controller()
 	go nd.application()
 
 	// App finished: report Done (responses are complete; the controller
-	// keeps serving handoffs, so message tallies grow until shutdown).
+	// keeps serving handoffs, so message tallies grow until shutdown —
+	// and the flusher keeps streaming the capture).
 	<-nd.appDone
-	nd.flushTrace()
 	nd.cc.send(nd.doneFrame())
 
 	// Wait for the coordinator's Shutdown (or a lost coordinator, which
@@ -229,9 +239,10 @@ func Run(cfg Config) (*Stats, error) {
 	<-nd.ctlExited
 	tr.Close()
 
-	// Final flush: remaining trace ops, final tallies, and the bye that
-	// tells the coordinator this node's capture stream is complete.
-	nd.flushTrace()
+	// Final flush: stop the flusher (it drains every remaining journal
+	// event and trace op), then the final tallies and the bye that tells
+	// the coordinator this node's capture stream is complete.
+	nd.cc.stopFlusher()
 	nd.cc.send(nd.doneFrame())
 	nd.cc.send(wire.Shutdown{})
 	nd.cc.close()
@@ -258,12 +269,6 @@ func (nd *node) doneFrame() wire.Done {
 		d.Responses = append(d.Responses, r.Nanoseconds())
 	}
 	return d
-}
-
-func (nd *node) flushTrace() {
-	if ops := nd.cap.take(); len(ops) > 0 {
-		nd.cc.send(wire.Trace{Ops: ops})
-	}
 }
 
 // --- controller ---
@@ -410,7 +415,7 @@ func (nd *node) application() {
 		hiIdx := nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSet, Proc: int32(nd.app), Name: "cs", Value: 0})
 		hi := nd.clk.tick(nd.cfg.ID)
 		nd.journalCtl(nd.app, obs.KindSet, "cs", 0, 0, 0, nil)
-		nd.cc.send(wire.Candidate{
+		nd.cc.sendCandidate(wire.Candidate{
 			Proc: int32(nd.app), LoIdx: int64(loIdx), HiIdx: int64(hiIdx), Lo: lo, Hi: hi,
 		})
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"predctl/internal/obs"
 	"predctl/internal/wire"
 )
 
@@ -58,7 +59,12 @@ type TransportConfig struct {
 	Listener net.Listener
 	Faults   Faults
 	Timeouts Timeouts
-	Logf     func(string, ...any)
+	// Reg, when non-nil, receives the mesh's wire metrics
+	// (predctl_wire_frames_total, _bytes_total, _batch_size with
+	// stream="mesh"), labeled with MetricLabels.
+	Reg          *obs.Registry
+	MetricLabels []obs.Label
+	Logf         func(string, ...any)
 }
 
 // NewTransport starts the mesh endpoint for node cfg.ID: it serves
@@ -95,11 +101,12 @@ func NewTransport(cfg TransportConfig) (*Transport, error) {
 		done:   make(chan struct{}),
 		conns:  map[net.Conn]struct{}{},
 	}
+	wm := newWireMeters(cfg.Reg, "mesh", cfg.MetricLabels)
 	for p := 0; p < cfg.N; p++ {
 		if p == cfg.ID {
 			continue
 		}
-		t.links[p] = newLink(cfg.ID, p, cfg.N, cfg.Addrs[p], cfg.Faults, opt, logf)
+		t.links[p] = newLink(cfg.ID, p, cfg.N, cfg.Addrs[p], cfg.Faults, opt, wm, logf)
 		t.rs[p] = &recvState{next: 1, buf: map[uint64]wire.Msg{}}
 	}
 	t.wg.Add(1)

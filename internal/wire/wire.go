@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the protocol version this codec speaks. A node refuses
@@ -45,7 +46,7 @@ const maxVC = 1 << 16
 
 // Msg is one decoded protocol message. The set is closed (sealed by the
 // unexported method): Hello, LinkAck, Ctl, App, Candidate, JournalEvent,
-// Trace, Done, Shutdown.
+// Trace, Done, Shutdown, JournalBatch, TraceOpBatch, CandidateBatch.
 type Msg interface{ wireKind() byte }
 
 // Frame kinds (the body's second byte).
@@ -59,6 +60,9 @@ const (
 	kindTrace
 	kindDone
 	kindShutdown
+	kindJournalBatch
+	kindTraceOpBatch
+	kindCandidateBatch
 )
 
 // CtlKind is a controller-to-controller handoff message kind, mirroring
@@ -171,9 +175,38 @@ type TraceOp struct {
 	Value int64
 }
 
-// Trace batches trace-capture operations from one node.
+// Trace batches trace-capture operations from one node. It is the v1
+// per-flush framing; streaming senders use TraceOpBatch, whose grouped
+// encoding drops the per-op process tag, but Trace remains decodable
+// forever so v1 captures stay readable.
 type Trace struct {
 	Ops []TraceOp
+}
+
+// JournalBatch carries many forwarded journal events in one frame — the
+// batched replacement for a stream of JournalEvent frames, flushed by
+// the node's capture batcher on a size-or-interval policy.
+type JournalBatch struct {
+	Events []JournalEvent
+}
+
+// TraceOpBatch carries trace-capture operations run-length grouped by
+// logical process: consecutive ops of the same process share one group
+// header, so the per-op process tag disappears from the wire. A node's
+// capture buffer alternates long runs of app and controller ops, which
+// is exactly the shape this encoding compresses. Decoding flattens the
+// groups back into the op stream, so consumers see the same []TraceOp a
+// Trace frame would carry.
+type TraceOpBatch struct {
+	Ops []TraceOp
+}
+
+// CandidateBatch carries many monitor candidate reports in one frame —
+// like JournalBatch, flushed by the node's capture batcher. Candidates
+// are consumed only when the run is assembled, so nothing is lost by
+// deferring them to the next flush.
+type CandidateBatch struct {
+	Cands []Candidate
 }
 
 // Done tells the coordinator this node's application body finished,
@@ -190,15 +223,18 @@ type Done struct {
 // Shutdown is the coordinator's stop signal to a node.
 type Shutdown struct{}
 
-func (Hello) wireKind() byte        { return kindHello }
-func (LinkAck) wireKind() byte      { return kindLinkAck }
-func (Ctl) wireKind() byte          { return kindCtl }
-func (App) wireKind() byte          { return kindApp }
-func (Candidate) wireKind() byte    { return kindCandidate }
-func (JournalEvent) wireKind() byte { return kindJournalEvent }
-func (Trace) wireKind() byte        { return kindTrace }
-func (Done) wireKind() byte         { return kindDone }
-func (Shutdown) wireKind() byte     { return kindShutdown }
+func (Hello) wireKind() byte          { return kindHello }
+func (LinkAck) wireKind() byte        { return kindLinkAck }
+func (Ctl) wireKind() byte            { return kindCtl }
+func (App) wireKind() byte            { return kindApp }
+func (Candidate) wireKind() byte      { return kindCandidate }
+func (JournalEvent) wireKind() byte   { return kindJournalEvent }
+func (Trace) wireKind() byte          { return kindTrace }
+func (Done) wireKind() byte           { return kindDone }
+func (Shutdown) wireKind() byte       { return kindShutdown }
+func (JournalBatch) wireKind() byte   { return kindJournalBatch }
+func (TraceOpBatch) wireKind() byte   { return kindTraceOpBatch }
+func (CandidateBatch) wireKind() byte { return kindCandidateBatch }
 
 // --- encoding ---
 
@@ -221,6 +257,25 @@ func appendVC(b []byte, vc []int32) []byte {
 		b = appendVarint(b, int64(c))
 	}
 	return b
+}
+
+func appendCandidate(dst []byte, v Candidate) []byte {
+	dst = appendVarint(dst, int64(v.Proc))
+	dst = appendVarint(dst, v.LoIdx)
+	dst = appendVarint(dst, v.HiIdx)
+	dst = appendVC(dst, v.Lo)
+	return appendVC(dst, v.Hi)
+}
+
+func appendJournalEvent(dst []byte, v JournalEvent) []byte {
+	dst = appendVarint(dst, v.At)
+	dst = appendVarint(dst, int64(v.Proc))
+	dst = append(dst, v.Kind)
+	dst = appendString(dst, v.Name)
+	dst = appendVarint(dst, v.A)
+	dst = appendVarint(dst, v.B)
+	dst = appendVarint(dst, v.C)
+	return appendVC(dst, v.VC)
 }
 
 // AppendBody appends the frame body (version, kind, seq, payload) for m
@@ -248,20 +303,9 @@ func AppendBody(dst []byte, seq uint64, m Msg) []byte {
 		dst = appendVC(dst, v.VC)
 		dst = appendBytes(dst, v.Payload)
 	case Candidate:
-		dst = appendVarint(dst, int64(v.Proc))
-		dst = appendVarint(dst, v.LoIdx)
-		dst = appendVarint(dst, v.HiIdx)
-		dst = appendVC(dst, v.Lo)
-		dst = appendVC(dst, v.Hi)
+		dst = appendCandidate(dst, v)
 	case JournalEvent:
-		dst = appendVarint(dst, v.At)
-		dst = appendVarint(dst, int64(v.Proc))
-		dst = append(dst, v.Kind)
-		dst = appendString(dst, v.Name)
-		dst = appendVarint(dst, v.A)
-		dst = appendVarint(dst, v.B)
-		dst = appendVarint(dst, v.C)
-		dst = appendVC(dst, v.VC)
+		dst = appendJournalEvent(dst, v)
 	case Trace:
 		dst = appendUvarint(dst, uint64(len(v.Ops)))
 		for _, op := range v.Ops {
@@ -270,6 +314,42 @@ func AppendBody(dst []byte, seq uint64, m Msg) []byte {
 			dst = appendUvarint(dst, op.MsgID)
 			dst = appendString(dst, op.Name)
 			dst = appendVarint(dst, op.Value)
+		}
+	case JournalBatch:
+		dst = appendUvarint(dst, uint64(len(v.Events)))
+		for _, e := range v.Events {
+			dst = appendJournalEvent(dst, e)
+		}
+	case TraceOpBatch:
+		// Run-length group the ops by process: count the groups first
+		// (consecutive ops with equal Proc), then emit each group as a
+		// process header followed by its process-tag-free ops.
+		groups := 0
+		for i, op := range v.Ops {
+			if i == 0 || op.Proc != v.Ops[i-1].Proc {
+				groups++
+			}
+		}
+		dst = appendUvarint(dst, uint64(groups))
+		for i := 0; i < len(v.Ops); {
+			j := i
+			for j < len(v.Ops) && v.Ops[j].Proc == v.Ops[i].Proc {
+				j++
+			}
+			dst = appendVarint(dst, int64(v.Ops[i].Proc))
+			dst = appendUvarint(dst, uint64(j-i))
+			for ; i < j; i++ {
+				op := v.Ops[i]
+				dst = append(dst, op.Op)
+				dst = appendUvarint(dst, op.MsgID)
+				dst = appendString(dst, op.Name)
+				dst = appendVarint(dst, op.Value)
+			}
+		}
+	case CandidateBatch:
+		dst = appendUvarint(dst, uint64(len(v.Cands)))
+		for _, c := range v.Cands {
+			dst = appendCandidate(dst, c)
 		}
 	case Done:
 		dst = appendVarint(dst, int64(v.Proc))
@@ -287,11 +367,49 @@ func AppendBody(dst []byte, seq uint64, m Msg) []byte {
 	return dst
 }
 
+// AppendFrame appends one complete frame — length prefix plus body —
+// for m to dst and returns the result. It is the allocation-free encode
+// path: callers that reuse dst (the link writer, the coordinator
+// client) encode every frame into pooled or writer-owned buffers and
+// never touch the heap per frame.
+func AppendFrame(dst []byte, seq uint64, m Msg) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = AppendBody(dst, seq, m)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
+}
+
 // Marshal encodes m as a complete frame: length prefix plus body.
 func Marshal(seq uint64, m Msg) []byte {
-	body := AppendBody(make([]byte, 4, 64), seq, m)
-	binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
-	return body
+	return AppendFrame(make([]byte, 0, 64), seq, m)
+}
+
+// Buffer is a pooled encode scratch buffer. Frame producers Get one,
+// AppendFrame into B, hand the bytes to the wire, and Put it back; the
+// pool is shared by the reliable links and the coordinator client, so
+// steady-state encoding allocates nothing.
+type Buffer struct{ B []byte }
+
+// bufferKeepCap bounds the capacity of buffers returned to the pool: an
+// occasional giant batch must not pin megabytes in the pool forever.
+const bufferKeepCap = 1 << 16
+
+var bufferPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 256)} }}
+
+// GetBuffer fetches an empty buffer from the shared pool.
+func GetBuffer() *Buffer {
+	return bufferPool.Get().(*Buffer)
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not touch b
+// (or aliases of b.B) afterwards. Oversized buffers are dropped.
+func PutBuffer(b *Buffer) {
+	if b == nil || cap(b.B) > bufferKeepCap {
+		return
+	}
+	b.B = b.B[:0]
+	bufferPool.Put(b)
 }
 
 // --- decoding ---
@@ -379,6 +497,16 @@ func (d *dec) bytes() []byte {
 
 func (d *dec) str() string { return string(d.bytes()) }
 
+func (d *dec) candidate() Candidate {
+	return Candidate{Proc: d.i32(), LoIdx: d.varint(), HiIdx: d.varint(),
+		Lo: d.vc(), Hi: d.vc()}
+}
+
+func (d *dec) journalEvent() JournalEvent {
+	return JournalEvent{At: d.varint(), Proc: d.i32(), Kind: d.u8(),
+		Name: d.str(), A: d.varint(), B: d.varint(), C: d.varint(), VC: d.vc()}
+}
+
 func (d *dec) vc() []int32 {
 	n := d.uvarint()
 	if d.err != nil {
@@ -418,11 +546,9 @@ func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
 		m = App{From: d.i32(), To: d.i32(), TraceID: d.uvarint(),
 			VC: d.vc(), Payload: d.bytes()}
 	case kindCandidate:
-		m = Candidate{Proc: d.i32(), LoIdx: d.varint(), HiIdx: d.varint(),
-			Lo: d.vc(), Hi: d.vc()}
+		m = d.candidate()
 	case kindJournalEvent:
-		m = JournalEvent{At: d.varint(), Proc: d.i32(), Kind: d.u8(),
-			Name: d.str(), A: d.varint(), B: d.varint(), C: d.varint(), VC: d.vc()}
+		m = d.journalEvent()
 	case kindTrace:
 		n := d.uvarint()
 		if d.err == nil && n > uint64(len(d.b)-d.off) { // each op ≥ 1 byte
@@ -437,6 +563,54 @@ func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
 			}
 		}
 		m = Trace{Ops: ops}
+	case kindJournalBatch:
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) { // each event ≥ 1 byte
+			d.fail()
+		}
+		var evs []JournalEvent
+		if d.err == nil && n > 0 {
+			evs = make([]JournalEvent, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				evs = append(evs, d.journalEvent())
+			}
+		}
+		m = JournalBatch{Events: evs}
+	case kindTraceOpBatch:
+		groups := d.uvarint()
+		if d.err == nil && groups > uint64(len(d.b)-d.off) { // each group ≥ 1 byte
+			d.fail()
+		}
+		var ops []TraceOp
+		for g := uint64(0); g < groups && d.err == nil; g++ {
+			proc := d.i32()
+			n := d.uvarint()
+			if d.err == nil && n > uint64(len(d.b)-d.off) { // each op ≥ 1 byte
+				d.fail()
+				break
+			}
+			if d.err == nil && ops == nil && n > 0 {
+				ops = make([]TraceOp, 0, n)
+			}
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				ops = append(ops, TraceOp{Op: d.u8(), Proc: proc,
+					MsgID: d.uvarint(), Name: d.str(), Value: d.varint()})
+			}
+		}
+		m = TraceOpBatch{Ops: ops}
+	case kindCandidateBatch:
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) { // each candidate ≥ 1 byte
+			d.fail()
+		}
+		var cands []Candidate
+		if d.err == nil && n > 0 {
+			cands = make([]Candidate, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				cands = append(cands, d.candidate())
+			}
+		}
+		m = CandidateBatch{Cands: cands}
 	case kindDone:
 		v := Done{Proc: d.i32(), Requests: d.uvarint(), Handoffs: d.uvarint(),
 			CtlMessages: d.uvarint()}

@@ -33,6 +33,25 @@ func sampleMsgs() []Msg {
 		Done{Proc: 4, Requests: 10, Handoffs: 3, CtlMessages: 6, Responses: []int64{0, 1500, 2_000_000}},
 		Done{Proc: 0},
 		Shutdown{},
+		JournalBatch{},
+		JournalBatch{Events: []JournalEvent{
+			{At: 1, Proc: 2, Kind: 7, Name: "ctl.req", A: 3, C: 9, VC: []int32{1, 0}},
+			{At: 2, Proc: 0, Kind: 6, Name: "cs", A: 1},
+			{At: -7, Proc: 5, Kind: 1, B: -2},
+		}},
+		TraceOpBatch{},
+		TraceOpBatch{Ops: []TraceOp{ // runs of equal Proc plus singletons
+			{Op: TraceInit, Proc: 0, Name: "cs", Value: 0},
+			{Op: TraceSend, Proc: 0, MsgID: 7},
+			{Op: TraceRecv, Proc: 3, MsgID: 7},
+			{Op: TraceSend, Proc: 3, MsgID: 1 << 44},
+			{Op: TraceSet, Proc: 0, Name: "cs", Value: 1},
+		}},
+		CandidateBatch{},
+		CandidateBatch{Cands: []Candidate{
+			{Proc: 1, LoIdx: 2, HiIdx: 4, Lo: []int32{1, 0}, Hi: []int32{3, 2}},
+			{Proc: 0, LoIdx: 0, HiIdx: 0},
+		}},
 	}
 }
 
@@ -116,6 +135,48 @@ func TestDecodeHostileLengths(t *testing.T) {
 	hdr[0] = 0xFF
 	if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameSize) {
 		t.Fatalf("oversized frame: got %v, want ErrFrameSize", err)
+	}
+}
+
+// TestAppendFrame pins the allocation-free path to Marshal: same bytes,
+// correct appending onto a non-empty prefix, and a pooled round trip.
+func TestAppendFrame(t *testing.T) {
+	for i, m := range sampleMsgs() {
+		want := Marshal(uint64(i), m)
+		got := AppendFrame(nil, uint64(i), m)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("msg %d (%T): AppendFrame differs from Marshal", i, m)
+		}
+		pre := []byte{0xAA, 0xBB}
+		app := AppendFrame(append([]byte(nil), pre...), uint64(i), m)
+		if !bytes.Equal(app[:2], pre) || !bytes.Equal(app[2:], want) {
+			t.Fatalf("msg %d (%T): AppendFrame clobbered its prefix", i, m)
+		}
+	}
+	buf := GetBuffer()
+	buf.B = AppendFrame(buf.B[:0], 9, Hello{From: 1, N: 4})
+	if _, _, err := ReadFrame(bytes.NewReader(buf.B)); err != nil {
+		t.Fatalf("pooled frame did not decode: %v", err)
+	}
+	PutBuffer(buf)
+	// Oversized buffers must be dropped, not pinned in the pool.
+	big := &Buffer{B: make([]byte, 0, bufferKeepCap+1)}
+	PutBuffer(big)
+	PutBuffer(nil) // must not panic
+}
+
+// TestTraceOpBatchGrouping pins the grouped encoding's compactness win:
+// a proc-alternating op stream costs no more than the flat Trace form,
+// and a long single-proc run costs strictly less.
+func TestTraceOpBatchGrouping(t *testing.T) {
+	run := make([]TraceOp, 64)
+	for i := range run {
+		run[i] = TraceOp{Op: TraceStep, Proc: 5, MsgID: uint64(i)}
+	}
+	grouped := len(Marshal(0, TraceOpBatch{Ops: run}))
+	flat := len(Marshal(0, Trace{Ops: run}))
+	if grouped >= flat {
+		t.Fatalf("grouped encoding (%dB) not smaller than flat (%dB) on a single-proc run", grouped, flat)
 	}
 }
 
