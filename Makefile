@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster
+.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke
 
 all: check
 
@@ -50,3 +50,19 @@ bench-cluster:
 # reduction; omit it to just re-measure.
 bench-mem-baseline:
 	$(GO) run ./cmd/pcbench -membaseline BENCH_memory.json
+
+# Regenerate the committed chaos-soak record: ≥60s of seeded
+# crash/partition iterations (≥100 crash recoveries, ≥12 partition
+# windows, coordinator-stream cuts included), each required to end with
+# a complete capture and the paper invariants green (see
+# internal/expt/chaos.go). Exits nonzero on any lost capture event or
+# invariant violation.
+bench-chaos:
+	$(GO) run ./cmd/pcbench -chaos BENCH_chaos.json
+
+# A seconds-long slice of the same soak for CI: small cluster, few
+# iterations, fixed seed — enough to catch crash-path regressions
+# without the full minute.
+chaos-smoke:
+	$(GO) run ./cmd/pcbench -chaos /tmp/chaos_smoke.json \
+		-chaos-duration 2s -chaos-n 4 -chaos-crashes 4 -chaos-partitions 2

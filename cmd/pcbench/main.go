@@ -10,6 +10,12 @@
 //	pcbench -membaseline BENCH_memory.json # record the allocation baseline
 //	pcbench -cluster BENCH_cluster.json    # record the networked-runtime sweep
 //	                                       # (real loopback clusters, 8..128 nodes)
+//	pcbench -chaos BENCH_chaos.json        # 60s crash/partition soak with controlled
+//	                                       # re-execution recovery; exits 1 unless every
+//	                                       # run ends with zero lost capture and the
+//	                                       # invariants green. -chaos-n / -chaos-duration /
+//	                                       # -chaos-crashes / -chaos-partitions scale it
+//	                                       # (the CI smoke job runs a seconds-long slice)
 //	pcbench -membaseline X -pre OLD.json   # ... embedding OLD as the pre-change rows
 //	pcbench -compare BENCH_memory.json     # diff a fresh sweep against the file;
 //	                                       # exits 1 on allocs/op or ns/op regression
@@ -27,6 +33,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"predctl/internal/expt"
 )
@@ -53,6 +60,11 @@ func main() {
 	baseline := flag.String("baseline", "", "write the parallel-engine baseline (E10 sweep) as JSON to this file and exit")
 	membaseline := flag.String("membaseline", "", "write the allocation baseline (allocs/op sweep) as JSON to this file and exit")
 	cluster := flag.String("cluster", "", "write the cluster baseline (loopback TCP sweep, per-event vs batched) as JSON to this file and exit")
+	chaos := flag.String("chaos", "", "run the crash/partition chaos soak, write its totals as JSON to this file and exit (nonzero on any lost capture or invariant violation)")
+	chaosN := flag.Int("chaos-n", 8, "chaos soak: cluster size per iteration")
+	chaosDur := flag.Duration("chaos-duration", 60*time.Second, "chaos soak: minimum wall time")
+	chaosCrashes := flag.Int("chaos-crashes", 100, "chaos soak: minimum crash-recovery count")
+	chaosParts := flag.Int("chaos-partitions", 12, "chaos soak: minimum partition-window count")
 	pre := flag.String("pre", "", "with -membaseline: embed this earlier sweep as the pre-change rows and record reductions")
 	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
 	metrics := flag.Bool("metrics", false, "run the instrumented protocol sweep and dump its metrics in Prometheus text format")
@@ -104,6 +116,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *baseline)
+		return
+	}
+	if *chaos != "" {
+		doc, verdict, err := expt.ChaosJSON(expt.ChaosOptions{
+			Seed: *seed, N: *chaosN, Duration: *chaosDur,
+			MinCrashes: *chaosCrashes, MinPartitions: *chaosParts,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("chaos soak: %w", err))
+		}
+		if err := os.WriteFile(*chaos, doc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chaos soak %s\n", verdict)
+		fmt.Printf("wrote %s\n", *chaos)
 		return
 	}
 	if *cluster != "" {

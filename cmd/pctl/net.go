@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,6 +20,105 @@ import (
 	"predctl/internal/obs"
 	"predctl/internal/trace"
 )
+
+// crashFlag is a repeatable -crash flag: each occurrence schedules one
+// node kill, e.g. -crash at=30ms,node=1,down=5ms. The relaunch triggers
+// the coordinator's controlled re-execution restart.
+type crashFlag struct{ crashes []node.Crash }
+
+func (f *crashFlag) String() string { return fmt.Sprintf("%d crash(es)", len(f.crashes)) }
+
+func (f *crashFlag) Set(s string) error {
+	var cr node.Crash
+	seen := false
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("crash: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "at":
+			cr.At, err = time.ParseDuration(v)
+			seen = true
+		case "node":
+			cr.Node, err = strconv.Atoi(v)
+		case "down":
+			cr.Down, err = time.ParseDuration(v)
+		default:
+			return fmt.Errorf("crash: unknown key %q (want at, node, down)", k)
+		}
+		if err != nil {
+			return fmt.Errorf("crash: %s: %w", k, err)
+		}
+	}
+	if !seen {
+		return errors.New("crash: at=<duration> is required")
+	}
+	f.crashes = append(f.crashes, cr)
+	return nil
+}
+
+// partitionFlag is a repeatable -partition flag: each occurrence opens
+// one partition window, e.g. -partition start=20ms,dur=40ms,a=0:1 or
+// -partition start=20ms,dur=40ms,a=2,coord (sever node 2 from the rest
+// and from its coordinator stream).
+type partitionFlag struct{ parts []node.Partition }
+
+func (f *partitionFlag) String() string { return fmt.Sprintf("%d partition(s)", len(f.parts)) }
+
+func (f *partitionFlag) Set(s string) error {
+	var p node.Partition
+	seen := false
+	for _, kv := range strings.Split(s, ",") {
+		if kv == "coord" {
+			p.Coord = true
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("partition: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "start":
+			p.Start, err = time.ParseDuration(v)
+			seen = true
+		case "dur":
+			p.Dur, err = time.ParseDuration(v)
+		case "a":
+			p.A, err = parseNodeList(v)
+		case "b":
+			p.B, err = parseNodeList(v)
+		default:
+			return fmt.Errorf("partition: unknown key %q (want start, dur, a, b, coord)", k)
+		}
+		if err != nil {
+			return fmt.Errorf("partition: %s: %w", k, err)
+		}
+	}
+	if !seen {
+		return errors.New("partition: start=<duration> is required")
+	}
+	if len(p.A) == 0 {
+		return errors.New("partition: a=<node:node:...> is required")
+	}
+	f.parts = append(f.parts, p)
+	return nil
+}
+
+// parseNodeList parses a colon-separated node-id list ("0:2:3").
+func parseNodeList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ":") {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("node id %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 // batchFlags registers the capture-stream batching flags.
 func batchFlags(fs *flag.FlagSet) *node.Batching {
@@ -84,6 +184,10 @@ func cmdCluster(args []string) error {
 	timeline := fs.Int("timeline", 0, "print the last N merged journal events")
 	faults := faultFlags(fs)
 	batching := batchFlags(fs)
+	var crashes crashFlag
+	fs.Var(&crashes, "crash", "kill and relaunch a node, `at=30ms,node=1[,down=5ms]` (repeatable; recovery is a controlled re-execution)")
+	var partitions partitionFlag
+	fs.Var(&partitions, "partition", "open a partition window, `start=20ms,dur=40ms,a=0:1[,b=2:3][,coord]` (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,10 +197,12 @@ func cmdCluster(args []string) error {
 
 	j := obs.NewJournal(0)
 	reg := obs.NewRegistry()
+	faults.Partitions = partitions.parts
 	res, err := node.RunCluster(node.ClusterConfig{
 		N: *n, Rounds: *rounds, Think: *think, CS: *cs,
 		Broadcast: *broadcast, Scapegoat: *scapegoat, Seed: *seed,
 		Faults: *faults, Batching: *batching, Journal: j, Reg: reg,
+		Crashes: crashes.crashes,
 	})
 	if err != nil {
 		return err
@@ -111,6 +217,10 @@ func cmdCluster(args []string) error {
 		*n, *rounds, *seed, *broadcast, faults.Drop, faults.Dup, faults.Delay)
 	fmt.Printf("run: %d CS entries, %d handoffs, %d ctl messages, %d candidates\n",
 		requests, handoffs, ctl, res.Candidates)
+	if len(crashes.crashes) > 0 || len(partitions.parts) > 0 {
+		fmt.Printf("chaos: %d crash(es) scheduled, %d restart(s) ordered, %d partition window(s)\n",
+			len(crashes.crashes), res.Restarts, len(partitions.parts))
+	}
 	d := res.Deposet
 	fmt.Printf("captured: %d processes (%d apps + %d controllers), %d states, %d messages\n",
 		d.NumProcs(), *n, *n, d.NumStates(), len(d.Messages()))
@@ -163,6 +273,7 @@ func cmdNode(args []string) error {
 	scapegoat := fs.Int("scapegoat", 0, "initial anti-token holder")
 	out := fs.String("o", "", "coordinator: write the captured trace here")
 	wait := fs.Duration("wait", 2*time.Minute, "coordinator: how long to wait for the cluster")
+	rejoin := fs.Bool("rejoin", false, "node: this is the relaunch of a crashed daemon — hold execution until the coordinator's restart decision")
 	faults := faultFlags(fs)
 	batching := batchFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -214,6 +325,7 @@ func cmdNode(args []string) error {
 		Scapegoat: *scapegoat, Broadcast: *broadcast,
 		Rounds: *rounds, Think: *think, CS: *cs,
 		Seed: *seed, Faults: *faults, Batching: *batching,
+		WaitRestart: *rejoin,
 	})
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -8,6 +9,18 @@ import (
 
 	"predctl/internal/obs"
 )
+
+// Crash schedules one in-process node kill: at At (relative to the
+// shared run start) node Node's Run aborts with ErrCrashed — no flush,
+// no bye, connections dropped — and the harness relaunches it after
+// Down (0 = immediately). The relaunch rebinds the node's listener,
+// redials the coordinator with a fresh Hello, and the coordinator
+// answers with a controlled re-execution restart of the whole cluster.
+type Crash struct {
+	At   time.Duration
+	Node int
+	Down time.Duration // how long the node stays dead before relaunch
+}
 
 // ClusterConfig parameterizes an in-process cluster run: n node daemons
 // plus a coordinator, all over localhost TCP. In-process is the test
@@ -33,6 +46,11 @@ type ClusterConfig struct {
 	Logf         func(string, ...any)
 	// WaitTimeout bounds the whole run; 0 means a generous default.
 	WaitTimeout time.Duration
+	// Crashes is the node kill/relaunch schedule (chaos runs). Each
+	// entry crashes a node mid-run; recovery is the coordinator-ordered
+	// controlled re-execution, so the run still completes with a
+	// fault-free-equivalent trace.
+	Crashes []Crash
 }
 
 // RunCluster executes the anti-token (n−1)-mutex workload on a cluster
@@ -78,29 +96,133 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	defer coord.Close()
 
 	start := time.Now()
+
+	// Crash plumbing: one buffered signal channel per node (so a kill
+	// never blocks the scheduler) and a stop flag that quiets the
+	// relaunch loops once the coordinator has its result.
+	crashCh := make([]chan struct{}, cfg.N)
+	for _, cr := range cfg.Crashes {
+		if cr.Node < 0 || cr.Node >= cfg.N {
+			return nil, fmt.Errorf("node: crash schedule targets node %d of %d", cr.Node, cfg.N)
+		}
+	}
+	for i := range crashCh {
+		crashCh[i] = make(chan struct{}, len(cfg.Crashes))
+	}
+	stop := make(chan struct{})
+	var schedWG sync.WaitGroup
+	for _, cr := range cfg.Crashes {
+		schedWG.Add(1)
+		go func(cr Crash) {
+			defer schedWG.Done()
+			select {
+			case <-time.After(time.Until(start.Add(cr.At))):
+				crashCh[cr.Node] <- struct{}{}
+			case <-stop:
+			}
+		}(cr)
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = Run(Config{
+			nodeCfg := Config{
 				ID: i, N: cfg.N, Addrs: addrs, Coord: coord.Addr(),
 				Scapegoat: cfg.Scapegoat, Broadcast: cfg.Broadcast,
 				Rounds: cfg.Rounds, Think: cfg.Think, CS: cfg.CS,
 				Seed: cfg.Seed, Faults: cfg.Faults, Timeouts: cfg.Timeouts,
 				Batching: cfg.Batching, Listener: listeners[i],
 				Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
-				Logf: cfg.Logf, Start: start,
-			})
+				Logf: cfg.Logf, Start: start, Crash: crashCh[i],
+			}
+			down := crashDowntime(cfg.Crashes, i)
+			deaths := 0
+			for {
+				_, err := Run(nodeCfg)
+				if !errors.Is(err, ErrCrashed) {
+					select {
+					case <-stop:
+						// The coordinator already has its result; a node
+						// that lost it during teardown is not a run error.
+						err = nil
+					default:
+					}
+					errs[i] = err
+					return
+				}
+				// Relaunch: the dead incarnation's listener went down with
+				// its transport, so rebind the same address (retrying
+				// briefly around lingering sockets) and run again. The
+				// fresh Hello makes the coordinator order the restart.
+				if deaths < len(down) && down[deaths] > 0 {
+					time.Sleep(down[deaths])
+				}
+				deaths++
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ln, lerr := relisten(addrs[i], stop)
+				if lerr != nil {
+					select {
+					case <-stop:
+					default:
+						errs[i] = fmt.Errorf("relaunch listen %s: %w", addrs[i], lerr)
+					}
+					return
+				}
+				nodeCfg.Listener = ln
+				// A relaunch is mid-epoch for the rest of the cluster: hold
+				// execution until the coordinator's restart decision arrives
+				// so the fresh incarnation never runs at a stale epoch
+				// against its peers' old link state.
+				nodeCfg.WaitRestart = true
+			}
 		}(i)
 	}
 	res, werr := coord.Wait(cfg.WaitTimeout)
+	close(stop)
 	wg.Wait()
+	schedWG.Wait()
 	for i, e := range errs {
 		if e != nil {
 			return nil, fmt.Errorf("node %d: %w", i, e)
 		}
 	}
 	return res, werr
+}
+
+// crashDowntime extracts node i's scheduled downtimes in kill order.
+func crashDowntime(crashes []Crash, node int) []time.Duration {
+	var out []time.Duration
+	for _, cr := range crashes {
+		if cr.Node == node {
+			out = append(out, cr.Down)
+		}
+	}
+	return out
+}
+
+// relisten rebinds a relaunched node's listen address, retrying while
+// the dead incarnation's socket drains out of the kernel.
+func relisten(addr string, stop <-chan struct{}) (net.Listener, error) {
+	var lastErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		select {
+		case <-stop:
+			return nil, net.ErrClosed
+		default:
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, lastErr
 }

@@ -1,9 +1,11 @@
 package node
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,114 +46,346 @@ func (b Batching) withDefaults() Batching {
 }
 
 // coordClient is a node's stream to the coordinator: Hello, then trace
-// batches, forwarded journal events, candidates and Done frames out;
-// Shutdown in. The stream rides plain TCP — it is exempt from the fault
-// shim (perturbing the capture would test the harness, not the
-// protocol) so no ARQ is layered on it.
+// batches, forwarded journal events, candidates, Done and bye frames
+// out; Shutdown, Restart and Commit in.
+//
+// The stream is a session, not a connection. Every sequenced frame is
+// retained in an in-memory session log (sent) for the life of the run,
+// so a broken connection is never a truncated capture: the session
+// goroutine redials with capped exponential backoff, offers
+// wire.Resume{Epoch}, and retransmits everything past the
+// coordinator's ResumeAck.Cum. Because the log is never pruned, even a
+// coordinator that crashed and restarted with no session state
+// (Cum = 0) gets the complete stream replayed. A write error of any
+// kind drops the connection immediately — the invariant is that the
+// bytes on the wire are always a prefix of the log, so the
+// coordinator's cumulative-sequence dedup can never see a gap.
 //
 // Capture traffic is batched: journal events and candidates buffer in
 // pendJournal / pendCands and trace ops stay in the node's capture
 // until the flusher goroutine drains all three on the Batching policy.
 // Control frames (Done, Shutdown bye) are latency-relevant and
-// once-per-run, so they bypass the batcher and write through
+// once-per-epoch, so they bypass the batcher and write through
 // immediately.
 type coordClient struct {
-	conn       net.Conn
-	mu         sync.Mutex // serializes writes
-	seq        uint64
-	opt        Timeouts
-	batch      Batching
-	wm         wireMeters
-	logf       func(string, ...any)
-	shutdownCh chan struct{} // closed when the coordinator says stop (or vanishes)
-	closeOnce  sync.Once
+	id, n int
+	addr  string
+	opt   Timeouts
+	batch Batching
+	wm    wireMeters
+	logf  func(string, ...any)
+	parts *partitions
 
+	shutdownEv chan uint32   // latest Shutdown{Epoch} from the coordinator (latest wins)
+	restartCh  chan uint32   // latest Restart/ResumeAck epoch from the coordinator
+	commitCh   chan struct{} // closed on the coordinator's Commit: the run is sealed
+	commitOnce sync.Once
+	quitOnce   sync.Once
+	quit       chan struct{} // closed by close(): stop the session goroutine
+	sessDone   chan struct{}
+
+	mu    sync.Mutex     // serializes stream writes; guards conn, sent, epoch
+	conn  net.Conn       // nil while disconnected (frames buffer in sent)
+	sent  []*wire.Buffer // session log: frame i carries seq i+1
+	epoch uint32
+
+	// flushMu serializes flush passes with epoch transitions, so no
+	// stale capture frame can land on the stream after the EpochMark
+	// that voids its epoch.
+	flushMu     sync.Mutex
 	pendMu      sync.Mutex
 	pendJournal []wire.JournalEvent
 	pendCands   []wire.Candidate
 
-	take      func() []wire.TraceOp // drains the node's capture; set by startFlusher
+	take      func() []wire.TraceOp // drains the node's capture; flushMu-guarded
 	kick      chan struct{}         // cap 1: a size threshold was crossed
+	flushing  bool                  // a flusher goroutine is running; flushMu-guarded
 	flushQuit chan struct{}
 	flushDone chan struct{}
 }
 
-// dialCoord connects to the coordinator, retrying while it comes up.
-func dialCoord(addr string, id, n int, batch Batching, wm wireMeters, opt Timeouts, logf func(string, ...any)) (*coordClient, error) {
-	var conn net.Conn
-	var err error
-	deadline := time.Now().Add(opt.DialTimeout * 5)
-	for {
-		conn, err = net.DialTimeout("tcp", addr, opt.DialTimeout)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("node %d: coordinator %s: %w", id, addr, err)
-		}
-		time.Sleep(opt.BackoffMin)
-	}
-	if tc, ok := conn.(*net.TCPConn); ok {
-		tc.SetNoDelay(true)
-	}
+// dialCoord connects to the coordinator, retrying with capped
+// exponential backoff (the same policy as mesh redials) until
+// opt.CoordDeadline, so a coordinator that is slow to come up — or
+// restarting — is waited for rather than fataled on.
+func dialCoord(addr string, id, n int, batch Batching, wm wireMeters, opt Timeouts, parts *partitions, logf func(string, ...any)) (*coordClient, error) {
 	cc := &coordClient{
-		conn: conn, opt: opt, batch: batch.withDefaults(), wm: wm, logf: logf,
-		shutdownCh: make(chan struct{}),
+		id: id, n: n, addr: addr,
+		opt: opt, batch: batch.withDefaults(), wm: wm, logf: logf, parts: parts,
+		shutdownEv: make(chan uint32, 1),
+		restartCh:  make(chan uint32, 1),
+		commitCh:   make(chan struct{}),
+		quit:       make(chan struct{}),
+		sessDone:   make(chan struct{}),
 		kick:       make(chan struct{}, 1),
-		flushQuit:  make(chan struct{}),
-		flushDone:  make(chan struct{}),
 	}
-	cc.send(wire.Hello{From: int32(id), N: int32(n)})
-	go cc.reader(id)
+	conn, err := cc.dialOnce(wire.Hello{From: int32(id), N: int32(n)})
+	if err != nil {
+		return nil, fmt.Errorf("node %d: coordinator %s: %w", id, addr, err)
+	}
+	cc.conn = conn
+	go cc.session(conn)
 	return cc, nil
 }
 
-// reader watches for the coordinator's Shutdown; a broken stream counts
-// as one (a node without its coordinator has nowhere to report to).
-func (cc *coordClient) reader(id int) {
-	br := bufReader(cc.conn)
+// dialOnce runs one dial campaign: dial until opt.CoordDeadline with
+// backoffDelay pacing, write the handshake frame, and return the
+// connection. A partition window severing this node's coordinator
+// stream pauses the campaign (the clock keeps running).
+func (cc *coordClient) dialOnce(handshake wire.Msg) (net.Conn, error) {
+	deadline := time.Now().Add(cc.opt.CoordDeadline)
+	fails := 0
+	var lastErr error
 	for {
-		_, m, err := wire.ReadFrame(br)
-		if err != nil {
-			if !errors.Is(err, net.ErrClosed) {
-				cc.logf("node %d: coordinator stream: %v", id, err)
-			}
-			cc.signalShutdown()
-			return
+		select {
+		case <-cc.quit:
+			return nil, net.ErrClosed
+		default:
 		}
-		if _, ok := m.(wire.Shutdown); ok {
-			cc.signalShutdown()
+		if time.Now().After(deadline) {
+			if lastErr == nil {
+				lastErr = errors.New("partitioned for the whole campaign")
+			}
+			return nil, fmt.Errorf("unreachable for %v: %w", cc.opt.CoordDeadline, lastErr)
+		}
+		if cc.parts.coordSevered(cc.id, time.Now()) {
+			cc.pause(backoffDelay(cc.opt, 0))
+			continue
+		}
+		conn, err := net.DialTimeout("tcp", cc.addr, cc.opt.DialTimeout)
+		if err != nil {
+			lastErr = err
+			cc.pause(backoffDelay(cc.opt, fails))
+			fails++
+			continue
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		conn.SetWriteDeadline(time.Now().Add(cc.opt.WriteTimeout))
+		if err := wire.WriteFrame(conn, 0, handshake); err != nil {
+			conn.Close()
+			lastErr = err
+			cc.pause(backoffDelay(cc.opt, fails))
+			fails++
+			continue
+		}
+		return conn, nil
+	}
+}
+
+// pause sleeps d or until close() interrupts.
+func (cc *coordClient) pause(d time.Duration) {
+	select {
+	case <-cc.quit:
+	case <-time.After(d):
+	}
+}
+
+// session is the stream's lifecycle goroutine: it reads the current
+// connection until it breaks, then resumes the session on a fresh one,
+// forever — until close() or a failed resume campaign. Only resume
+// failure is terminal: that is the hard, logged error that replaces
+// the old silent capture truncation.
+func (cc *coordClient) session(conn net.Conn) {
+	defer close(cc.sessDone)
+	br := bufReader(conn)
+	for {
+		cc.readLoop(conn, br)
+		select {
+		case <-cc.quit:
+			return
+		default:
+		}
+		cc.dropConn(conn)
+		var err error
+		conn, br, err = cc.resume()
+		if err != nil {
+			select {
+			case <-cc.quit:
+			default:
+				// Terminal: nothing will ever install a connection again.
+				// The closed sessDone (this function's defer) is what wakes
+				// the epoch loop out of any wait.
+				cc.logf("node %d: coordinator session lost (%v); capture stream truncated", cc.id, err)
+			}
 			return
 		}
 	}
 }
 
-func (cc *coordClient) signalShutdown() {
-	cc.closeOnce.Do(func() { close(cc.shutdownCh) })
+// readLoop consumes coordinator frames until the connection errors.
+// Idle-deadline renewals double as the partition probe: a severed
+// stream is torn down even when no capture traffic would touch it.
+func (cc *coordClient) readLoop(conn net.Conn, br *bufio.Reader) {
+	for {
+		conn.SetReadDeadline(time.Now().Add(cc.opt.IdleTimeout))
+		_, m, err := wire.ReadFrame(br)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if cc.parts.coordSevered(cc.id, time.Now()) {
+					return // sever: redial after the window heals
+				}
+				continue
+			}
+			select {
+			case <-cc.quit:
+			case <-cc.commitCh:
+				// Post-commit breaks are expected (the coordinator tears
+				// down once the run is sealed); don't spam the log.
+			default:
+				if !errors.Is(err, net.ErrClosed) {
+					cc.logf("node %d: coordinator stream: %v", cc.id, err)
+				}
+			}
+			return
+		}
+		switch v := m.(type) {
+		case wire.Shutdown:
+			cc.pushShutdown(v.Epoch)
+		case wire.Commit:
+			cc.signalCommit()
+		case wire.Restart:
+			cc.pushRestart(v.Epoch)
+		case wire.ResumeAck:
+			// Only expected during resume's handshake; a stray one is
+			// harmless.
+		default:
+			cc.logf("node %d: coordinator sent unexpected %T", cc.id, m)
+		}
+	}
 }
 
-// send writes one frame through the pooled encode path; errors are
-// logged, not fatal — the run is ending anyway if the coordinator is
-// gone, via reader above.
+// resume re-establishes the session: dial, offer Resume{Epoch}, read
+// ResumeAck, retransmit everything past Cum, and install the
+// connection — the retransmit and the install happen under cc.mu, so
+// concurrent sendItems cannot interleave a newer frame before the
+// backlog and the coordinator always sees a contiguous sequence.
+func (cc *coordClient) resume() (net.Conn, *bufio.Reader, error) {
+	cc.mu.Lock()
+	e := cc.epoch
+	cc.mu.Unlock()
+	conn, err := cc.dialOnce(wire.Resume{From: int32(cc.id), N: int32(cc.n), Epoch: e})
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufReader(conn)
+	conn.SetReadDeadline(time.Now().Add(cc.opt.DialTimeout))
+	_, m, err := wire.ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("resume handshake: %w", err)
+	}
+	ack, ok := m.(wire.ResumeAck)
+	if !ok {
+		conn.Close()
+		return nil, nil, fmt.Errorf("resume handshake: got %T, want ResumeAck", m)
+	}
+	if ack.Epoch != e {
+		// The coordinator knows a different epoch (a Restart we missed
+		// while disconnected, or a restarted coordinator rebuilding from
+		// our replay). The node's epoch loop sorts it out.
+		cc.pushRestart(ack.Epoch)
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cum := ack.Cum
+	if cum > uint64(len(cc.sent)) {
+		conn.Close()
+		return nil, nil, fmt.Errorf("resume: coordinator acked %d of %d frames", cum, len(cc.sent))
+	}
+	for _, b := range cc.sent[cum:] {
+		conn.SetWriteDeadline(time.Now().Add(cc.opt.WriteTimeout))
+		if _, err := conn.Write(b.B); err != nil {
+			conn.Close()
+			return nil, nil, fmt.Errorf("resume retransmit: %w", err)
+		}
+		cc.wm.bytes.Add(int64(len(b.B)))
+	}
+	cc.conn = conn
+	return conn, br, nil
+}
+
+// dropConn closes conn and clears it if still installed.
+func (cc *coordClient) dropConn(conn net.Conn) {
+	cc.mu.Lock()
+	if cc.conn == conn {
+		cc.conn = nil
+	}
+	cc.mu.Unlock()
+	conn.Close()
+}
+
+func (cc *coordClient) signalCommit() {
+	cc.commitOnce.Do(func() { close(cc.commitCh) })
+}
+
+// pushLatest publishes e to a capacity-1 epoch channel, displacing any
+// unconsumed older value; only the newest matters.
+func pushLatest(ch chan uint32, e uint32) {
+	for {
+		select {
+		case ch <- e:
+			return
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+		}
+	}
+}
+
+// pushRestart publishes the latest restart epoch to the node's epoch
+// loop.
+func (cc *coordClient) pushRestart(e uint32) { pushLatest(cc.restartCh, e) }
+
+// pushShutdown publishes the latest shutdown signal with the epoch it
+// belongs to: the epoch loop obeys it only if it still runs that
+// epoch — a Shutdown superseded by a Restart is stale, and obeying it
+// would make the node bye out of an execution the cluster is busy
+// re-running.
+func (cc *coordClient) pushShutdown(e uint32) { pushLatest(cc.shutdownEv, e) }
+
+// send writes one frame through the session log; a disconnected stream
+// buffers it for the resume replay.
 func (cc *coordClient) send(m wire.Msg) { cc.sendItems(m, 1) }
 
 // sendItems is send with the frame's capture-item count, feeding the
 // batch-size histogram (per-event frames observe 1, batch frames the
-// batch length — the distribution the cluster bench reports).
+// batch length — the distribution the cluster bench reports). The
+// frame is appended to the session log unconditionally; it is written
+// through only when a connection is up and no partition window severs
+// the stream, and any write error drops the connection so the wire
+// never carries a gapped sequence.
 func (cc *coordClient) sendItems(m wire.Msg, items int) {
 	b := wire.GetBuffer()
 	cc.mu.Lock()
-	cc.seq++
-	b.B = wire.AppendFrame(b.B[:0], cc.seq, m)
+	seq := uint64(len(cc.sent)) + 1
+	b.B = wire.AppendFrame(b.B[:0], seq, m)
+	cc.sent = append(cc.sent, b)
 	cc.wm.frames.Inc()
-	cc.wm.bytes.Add(int64(len(b.B)))
 	cc.wm.batch.Observe(int64(items))
-	cc.conn.SetWriteDeadline(time.Now().Add(cc.opt.WriteTimeout))
-	if _, err := cc.conn.Write(b.B); err != nil && !errors.Is(err, net.ErrClosed) {
-		cc.logf("node: coordinator write: %v", err)
+	conn := cc.conn
+	if conn != nil && cc.parts.coordSevered(cc.id, time.Now()) {
+		cc.conn = nil
+		conn.Close()
+		conn = nil
+	}
+	if conn != nil {
+		conn.SetWriteDeadline(time.Now().Add(cc.opt.WriteTimeout))
+		if _, err := conn.Write(b.B); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				cc.logf("node %d: coordinator write: %v", cc.id, err)
+			}
+			cc.conn = nil
+			conn.Close()
+		} else {
+			cc.wm.bytes.Add(int64(len(b.B)))
+		}
 	}
 	cc.mu.Unlock()
-	wire.PutBuffer(b)
 }
 
 // sendJournal forwards one journal event — immediately in PerEvent
@@ -206,20 +440,30 @@ func (cc *coordClient) kickFlush() {
 	}
 }
 
-// startFlusher begins periodic draining of the journal pending buffer
-// and the node's capture (via take) onto the stream.
-func (cc *coordClient) startFlusher(take func() []wire.TraceOp) {
+// ensureFlusher points the flusher at an epoch's capture, starting a
+// goroutine if none is running — at the first epoch, and again after a
+// bye-phase stopFlusher when a late restart re-executes the workload
+// from the parked state.
+func (cc *coordClient) ensureFlusher(take func() []wire.TraceOp) {
+	cc.flushMu.Lock()
+	defer cc.flushMu.Unlock()
 	cc.take = take
-	go cc.flusher()
+	if cc.flushing {
+		return
+	}
+	cc.flushing = true
+	cc.flushQuit = make(chan struct{})
+	cc.flushDone = make(chan struct{})
+	go cc.flusher(cc.flushQuit, cc.flushDone)
 }
 
-func (cc *coordClient) flusher() {
-	defer close(cc.flushDone)
+func (cc *coordClient) flusher(quit, done chan struct{}) {
+	defer close(done)
 	tick := time.NewTicker(cc.batch.Interval)
 	defer tick.Stop()
 	for {
 		select {
-		case <-cc.flushQuit:
+		case <-quit:
 			return
 		case <-cc.kick:
 		case <-tick.C:
@@ -230,21 +474,33 @@ func (cc *coordClient) flusher() {
 
 // stopFlusher ends the flusher goroutine and drains everything still
 // pending, so the stream is complete before the final Done and bye. It
-// is a no-op if startFlusher was never called.
-func (cc *coordClient) stopFlusher() {
-	if cc.take == nil {
-		return
+// is idempotent and a no-op if ensureFlusher was never called. With
+// drain false (the crash path), pending capture is abandoned exactly
+// as a killed process would abandon it.
+func (cc *coordClient) stopFlusher(drain bool) {
+	cc.flushMu.Lock()
+	running := cc.flushing
+	cc.flushing = false
+	started := cc.take != nil
+	quit, done := cc.flushQuit, cc.flushDone
+	cc.flushMu.Unlock()
+	if running {
+		close(quit)
+		<-done
 	}
-	close(cc.flushQuit)
-	<-cc.flushDone
-	cc.flush()
+	if started && drain {
+		cc.flush()
+	}
 }
 
 // flush drains pending journal events and captured trace ops as batch
 // frames of at most MaxItems items each (in PerEvent mode, as one
 // frame per item). Called from the flusher goroutine and, once it has
-// stopped, from stopFlusher.
+// stopped, from stopFlusher. flushMu orders whole passes against
+// markEpoch's discard-and-mark.
 func (cc *coordClient) flush() {
+	cc.flushMu.Lock()
+	defer cc.flushMu.Unlock()
 	cc.pendMu.Lock()
 	events := cc.pendJournal
 	cands := cc.pendCands
@@ -260,6 +516,9 @@ func (cc *coordClient) flush() {
 		cc.sendItems(wire.CandidateBatch{Cands: cands[:n]}, n)
 		cands = cands[n:]
 	}
+	if cc.take == nil {
+		return
+	}
 	ops := cc.take()
 	if cc.batch.PerEvent {
 		for _, op := range ops {
@@ -274,7 +533,78 @@ func (cc *coordClient) flush() {
 	}
 }
 
-func (cc *coordClient) close() { cc.conn.Close() }
+// markEpoch moves the stream to re-execution epoch e: everything the
+// abandoned epoch left pending (batched journal events, candidates,
+// undrained capture) is discarded, then an EpochMark is sequenced onto
+// the stream so the coordinator — live now or replaying the session
+// log after its own restart — discards that stream's staged capture at
+// exactly the same point. Holding flushMu across the transition
+// guarantees no old-epoch frame lands after the mark.
+func (cc *coordClient) markEpoch(e uint32) {
+	cc.flushMu.Lock()
+	defer cc.flushMu.Unlock()
+	cc.pendMu.Lock()
+	cc.pendJournal, cc.pendCands = nil, nil
+	cc.pendMu.Unlock()
+	if cc.take != nil {
+		cc.take() // drain and drop the dead epoch's capture
+	}
+	cc.mu.Lock()
+	cc.epoch = e
+	cc.mu.Unlock()
+	cc.sendItems(wire.EpochMark{Epoch: e}, 1)
+}
+
+// drain blocks until the whole session log is on the wire or d
+// elapses. A live connection implies the wire carries the full log as
+// a prefix — sendItems writes through or drops the connection, and
+// resume installs a connection only after retransmitting the backlog —
+// so waiting for conn != nil after the last frame was appended is
+// waiting for that frame to be written. The shutdown path drains
+// before close so a bye buffered behind a partition window or a broken
+// stream is delivered by the resume machinery instead of dying with
+// the session.
+func (cc *coordClient) drain(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		cc.mu.Lock()
+		live := cc.conn != nil
+		cc.mu.Unlock()
+		if live {
+			return
+		}
+		select {
+		case <-cc.quit:
+			return
+		case <-cc.sessDone:
+			// Terminal session loss (a failed resume campaign): nothing
+			// will ever install a connection again, and that failure has
+			// already been logged as the hard truncation error.
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cc.logf("node %d: coordinator stream still down after %v; final frames may be lost", cc.id, d)
+}
+
+// close ends the session: the goroutine stops, the connection drops,
+// and the session log's buffers return to the pool.
+func (cc *coordClient) close() {
+	cc.quitOnce.Do(func() { close(cc.quit) })
+	cc.mu.Lock()
+	if cc.conn != nil {
+		cc.conn.Close()
+		cc.conn = nil
+	}
+	cc.mu.Unlock()
+	<-cc.sessDone
+	cc.mu.Lock()
+	for _, b := range cc.sent {
+		wire.PutBuffer(b)
+	}
+	cc.sent = nil
+	cc.mu.Unlock()
+}
 
 // CoordConfig parameterizes the cluster coordinator.
 type CoordConfig struct {
@@ -297,26 +627,98 @@ type Result struct {
 	Deposet *deposet.Deposet
 	// Stats holds each node's final tallies.
 	Stats []Stats
-	// Candidates counts monitor candidate reports received.
+	// Candidates counts monitor candidate reports staged for the final
+	// epoch (discarded epochs' reports are not included).
 	Candidates int
+	// Epoch is the re-execution epoch the run completed at: 0 for a
+	// fault-free run, +1 per controlled re-execution restart.
+	Epoch uint32
+	// Restarts counts the controlled re-execution restarts the
+	// coordinator ordered (crashed-node rejoins).
+	Restarts int
 }
 
-// nodeStream is one connection's staging buffer: trace ops accumulate
-// here in arrival order, touched only by that connection's handler
-// goroutine, and are merged by process at Wait — so the hot ingest
-// path never contends on the coordinator mutex. Per-process order
-// survives the merge because each logical process's ops come from
-// exactly one node's stream.
-type nodeStream struct {
-	id  int
-	ops []wire.TraceOp
+// nodeSession is the coordinator's per-node-id stream state. It
+// outlives any one connection: a node whose stream broke resumes the
+// same session (lastSeq-based dedup absorbs the replayed tail), and a
+// node that crashed and relaunched resets it. Staged capture (ops,
+// events, candidates) belongs to the session's current epoch and is
+// discarded wholesale when an EpochMark announces a newer one — the
+// mechanism that makes the final trace equal to a fault-free run of
+// the final epoch. The session lock, not the coordinator's, guards the
+// hot ingest path, preserving the no-global-serialization property the
+// batched ingest bench pins.
+type nodeSession struct {
+	id int
+
+	// ingestMu serializes accept-and-stage as one atomic step per frame
+	// (and handshake resets against in-flight frames): a handler whose
+	// connection was superseded mid-ingest must not interleave its
+	// staging with the successor's, or the per-process op order the
+	// deposet assembly depends on scrambles. Always taken before mu.
+	ingestMu sync.Mutex
+
+	mu       sync.Mutex
+	attached bool       // a connection has handshaken for this id before
+	owner    *coordConn // the connection currently allowed to ingest
+	lastSeq  uint64     // highest contiguous sequence ingested
+	epoch    uint32     // the stream's current epoch (last EpochMark seen)
+	ops      []wire.TraceOp
+	events   []obs.Event
+	cands    int
+}
+
+// reset clears the session for a relaunched node: sequence numbering
+// restarts (the fresh process counts from 1) and staged capture from
+// the dead incarnation is dropped. Caller holds s.mu.
+func (s *nodeSession) resetLocked(lastSeq uint64) {
+	s.lastSeq = lastSeq
+	s.epoch = 0
+	s.ops, s.events, s.cands = nil, nil, 0
+}
+
+// discardEpochLocked drops the staged capture when the stream enters a
+// new epoch. Caller holds s.mu.
+func (s *nodeSession) discardEpochLocked(e uint32) {
+	s.epoch = e
+	s.ops, s.events, s.cands = nil, nil, 0
+}
+
+// coordConn wraps one node connection with write serialization:
+// ResumeAck from the handler races Shutdown/Restart broadcasts from
+// other goroutines.
+type coordConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+func (c *coordConn) writeFrame(opt Timeouts, m wire.Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.SetWriteDeadline(time.Now().Add(opt.WriteTimeout))
+	return wire.WriteFrame(c.Conn, 0, m)
 }
 
 // Coordinator collects the capture streams of a node cluster and
-// reassembles them into a deposet trace plus a merged journal. Protocol
-// flow: nodes connect and stream; after all N report Done the
-// coordinator broadcasts Shutdown; each node final-flushes and echoes
-// Shutdown as its bye; when every bye is in, Wait assembles the trace.
+// reassembles them into a deposet trace plus a merged journal.
+// Protocol flow: nodes connect and stream; after all N report Done at
+// the current epoch the coordinator broadcasts Shutdown{epoch}; each
+// node final-flushes, echoes Shutdown as its bye, and parks; when
+// every bye is in, the coordinator broadcasts Commit — the run is
+// sealed, parked nodes exit, and Wait assembles the trace. The park is
+// what makes shutdown crash-safe: a node killed between the Shutdown
+// broadcast and its bye rejoins and triggers a restart (the epoch was
+// still voidable), while after Commit a rejoin is refused with the
+// same Shutdown+Commit exit ramp.
+//
+// Failure handling is the paper's §8 controlled re-execution, global
+// form: when a crashed node relaunches (a second Hello for a known
+// id), the coordinator bumps the cluster epoch and broadcasts
+// Restart{epoch} — every node aborts, resets its mesh, discards its
+// local capture and deterministically re-executes from scratch. Each
+// stream's EpochMark then discards that stream's staged capture, so
+// what Wait assembles is exactly the final epoch: a trace
+// indistinguishable from a fault-free run.
 type Coordinator struct {
 	n       int
 	ln      net.Listener
@@ -325,19 +727,33 @@ type Coordinator struct {
 	opt     Timeouts
 	logf    func(string, ...any)
 
-	mu         sync.Mutex
-	streams    []*nodeStream // per-connection staging, merged at Wait
-	stats      []Stats
-	candidates int
-	doneSeen   []bool
-	doneCount  int
-	byeCount   int
-	conns      map[int]net.Conn
+	mu        sync.Mutex
+	sessions  map[int]*nodeSession
+	stats     []Stats
+	epoch     uint32 // cluster re-execution epoch
+	restarts  int
+	doneSeen  []bool
+	byeSeen   []bool
+	doneCount int
+	byeCount  int
+	conns     map[int]*coordConn
 
-	shutdownOnce sync.Once
-	allByes      chan struct{}
-	closed       chan struct{}
-	wg           sync.WaitGroup
+	// shutdownMu serializes the run's terminal decisions — Shutdown
+	// broadcast, Commit broadcast, restart-on-rejoin, and the state
+	// replayed to resuming connections — against each other. Combined
+	// with the per-connection write lock, every node observes those
+	// decisions in decision order, so a Shutdown can never overtake the
+	// Restart that voided it. Lock order: shutdownMu → ingestMu → st.mu,
+	// and shutdownMu → c.mu; never taken while holding c.mu or a
+	// session lock.
+	shutdownMu sync.Mutex
+	shutdown   bool // Shutdown broadcast for the current epoch, byes pending
+	committed  bool // Commit broadcast: the run is sealed, no more restarts
+
+	allByes chan struct{}
+	byeOnce sync.Once
+	closed  chan struct{}
+	wg      sync.WaitGroup
 }
 
 // NewCoordinator starts a coordinator for an n-node cluster.
@@ -364,9 +780,11 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cands:    cfg.Reg.Counter("predctl_monitor_candidates_total", cfg.MetricLabels...),
 		opt:      cfg.Timeouts.withDefaults(),
 		logf:     logf,
+		sessions: map[int]*nodeSession{},
 		stats:    make([]Stats, cfg.N),
 		doneSeen: make([]bool, cfg.N),
-		conns:    map[int]net.Conn{},
+		byeSeen:  make([]bool, cfg.N),
+		conns:    map[int]*coordConn{},
 		allByes:  make(chan struct{}),
 		closed:   make(chan struct{}),
 	}
@@ -379,50 +797,39 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
 // Wait blocks until every node's capture stream completed (or timeout),
-// then merges the per-connection staging buffers by logical process and
-// assembles the run.
+// then merges the per-session staging buffers — final epoch only — by
+// logical process and assembles the run.
 func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 	select {
 	case <-c.allByes:
 	case <-time.After(timeout):
 		c.Close()
 		c.mu.Lock()
-		done, byes := c.doneCount, c.byeCount
+		done, byes, epoch := c.doneCount, c.byeCount, c.epoch
 		c.mu.Unlock()
-		return nil, fmt.Errorf("node: coordinator timed out after %v (%d/%d done, %d/%d byes)",
-			timeout, done, c.n, byes, c.n)
+		return nil, fmt.Errorf("node: coordinator timed out after %v (epoch %d, %d/%d done, %d/%d byes)",
+			timeout, epoch, done, c.n, byes, c.n)
 	}
-	c.Close()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	d, err := assemble(c.n, c.mergeStaging())
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Deposet:    d,
-		Stats:      append([]Stats(nil), c.stats...),
-		Candidates: c.candidates,
-	}, nil
-}
+	// Deliberately no Close on success: a parked node whose Commit died
+	// with a broken stream redials and fetches it from the resume
+	// replay, which needs the listener alive. The owner's Close (or the
+	// harness's deferred one) tears everything down.
 
-// mergeStaging buckets every staged trace op by logical process.
-// Caller holds c.mu; the staging buffers themselves are quiescent by
-// now (every handler synchronized through c.mu when counting its bye).
-func (c *Coordinator) mergeStaging() [][]wire.TraceOp {
-	counts := make([]int, 2*c.n)
-	for _, st := range c.streams {
-		for i := range st.ops {
-			if p := int(st.ops[i].Proc); p >= 0 && p < 2*c.n {
-				counts[p]++
-			}
-		}
+	c.mu.Lock()
+	sessions := make([]*nodeSession, 0, len(c.sessions))
+	for _, st := range c.sessions {
+		sessions = append(sessions, st)
 	}
+	stats := append([]Stats(nil), c.stats...)
+	epoch, restarts := c.epoch, c.restarts
+	c.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+
 	byProc := make([][]wire.TraceOp, 2*c.n)
-	for p, n := range counts {
-		byProc[p] = make([]wire.TraceOp, 0, n)
-	}
-	for _, st := range c.streams {
+	var events []obs.Event
+	candidates := 0
+	for _, st := range sessions {
+		st.mu.Lock()
 		for _, op := range st.ops {
 			p := int(op.Proc)
 			if p < 0 || p >= 2*c.n {
@@ -431,8 +838,29 @@ func (c *Coordinator) mergeStaging() [][]wire.TraceOp {
 			}
 			byProc[p] = append(byProc[p], op)
 		}
+		events = append(events, st.events...)
+		candidates += st.cands
+		st.mu.Unlock()
 	}
-	return byProc
+	// The merged journal is time-ordered across nodes (stably, so each
+	// node's own order survives ties); the invariant checkers order by
+	// generation themselves, this is for human timelines.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, e := range events {
+		c.journal.Append(e)
+	}
+
+	d, err := assemble(c.n, byProc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Deposet:    d,
+		Stats:      stats,
+		Candidates: candidates,
+		Epoch:      epoch,
+		Restarts:   restarts,
+	}, nil
 }
 
 // Close shuts the coordinator's listener and connections down.
@@ -472,122 +900,381 @@ func (c *Coordinator) acceptLoop() {
 	}
 }
 
-// handleNode serves one node's capture stream into its own staging
-// buffer.
-func (c *Coordinator) handleNode(conn net.Conn) {
+// session returns (creating if needed) the state for node id.
+func (c *Coordinator) session(id int) *nodeSession {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.sessions[id]
+	if st == nil {
+		st = &nodeSession{id: id}
+		c.sessions[id] = st
+	}
+	return st
+}
+
+// attach installs conn as node id's connection, closing any previous
+// one so a zombie handler can't keep reading a superseded stream.
+func (c *Coordinator) attach(id int, conn *coordConn) {
+	c.mu.Lock()
+	old := c.conns[id]
+	c.conns[id] = conn
+	c.mu.Unlock()
+	if old != nil && old != conn {
+		old.Close()
+	}
+}
+
+// handleNode serves one node connection: handshake (Hello for a fresh
+// session or a crashed-node rejoin, Resume to continue one), then
+// sequence-checked ingest into the session's staging.
+func (c *Coordinator) handleNode(rawConn net.Conn) {
+	conn := &coordConn{Conn: rawConn}
 	defer conn.Close()
-	br := bufReader(conn)
-	conn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
-	_, first, err := wire.ReadFrame(br)
+	br := bufReader(rawConn)
+	rawConn.SetReadDeadline(time.Now().Add(c.opt.DialTimeout))
+	seq, first, err := wire.ReadFrame(br)
 	if err != nil {
 		c.logf("coordinator: handshake: %v", err)
 		return
 	}
-	hello, ok := first.(wire.Hello)
-	if !ok || int(hello.N) != c.n || hello.From < 0 || int(hello.From) >= c.n {
-		c.logf("coordinator: bad hello %#v", first)
+
+	var st *nodeSession
+	switch h := first.(type) {
+	case wire.Hello:
+		if int(h.N) != c.n || h.From < 0 || int(h.From) >= c.n {
+			c.logf("coordinator: bad hello %#v", first)
+			return
+		}
+		id := int(h.From)
+		st = c.session(id)
+		c.shutdownMu.Lock()
+		st.ingestMu.Lock()
+		st.mu.Lock()
+		rejoin := st.attached
+		if rejoin && c.committed {
+			// The run is sealed: every bye for the final epoch is in and
+			// the staged capture is (being) assembled. Tell the relaunch
+			// to stand down — Shutdown then Commit, the same exit ramp a
+			// parked node takes — and leave its session untouched.
+			st.mu.Unlock()
+			st.ingestMu.Unlock()
+			c.mu.Lock()
+			e := c.epoch
+			c.mu.Unlock()
+			conn.writeFrame(c.opt, wire.Shutdown{Epoch: e})
+			conn.writeFrame(c.opt, wire.Commit{})
+			c.shutdownMu.Unlock()
+			c.logf("coordinator: node %d rejoined after commit; refused", id)
+			return
+		}
+		st.attached = true
+		st.owner = conn
+		if rejoin {
+			// A second Hello for a known id is a relaunched process: it
+			// has no session to resume, so its old incarnation's stream
+			// state is void.
+			st.resetLocked(seq)
+		} else {
+			st.lastSeq = seq
+		}
+		st.mu.Unlock()
+		st.ingestMu.Unlock()
+		c.attach(id, conn)
+		if rejoin {
+			// Until Commit, a rejoin always restarts — even one landing
+			// between the Shutdown broadcast and the last bye: the
+			// "completed" execution is voided and re-run, because the
+			// alternative (refusing the relaunch) would strand the byes
+			// the dead incarnation never sent.
+			c.restartClusterLocked(id)
+		}
+		c.shutdownMu.Unlock()
+	case wire.Resume:
+		if int(h.N) != c.n || h.From < 0 || int(h.From) >= c.n {
+			c.logf("coordinator: bad resume %#v", first)
+			return
+		}
+		id := int(h.From)
+		st = c.session(id)
+		st.ingestMu.Lock()
+		st.mu.Lock()
+		st.attached = true
+		st.owner = conn
+		cum := st.lastSeq
+		st.mu.Unlock()
+		st.ingestMu.Unlock()
+		c.attach(id, conn)
+		// The replayed decisions (shutdown, commit) must reflect one
+		// consistent decision state and land on the wire unraced by new
+		// broadcasts, so the whole handshake reply happens under
+		// shutdownMu.
+		c.shutdownMu.Lock()
+		c.mu.Lock()
+		epoch := c.epoch
+		c.mu.Unlock()
+		err := conn.writeFrame(c.opt, wire.ResumeAck{Cum: cum, Epoch: epoch})
+		if err == nil && c.shutdown {
+			// The node missed the broadcast while disconnected; replay it
+			// so it can bye.
+			err = conn.writeFrame(c.opt, wire.Shutdown{Epoch: epoch})
+		}
+		if err == nil && c.committed {
+			err = conn.writeFrame(c.opt, wire.Commit{})
+		}
+		c.shutdownMu.Unlock()
+		if err != nil {
+			c.logf("coordinator: node %d: resume: %v", id, err)
+			return
+		}
+	default:
+		c.logf("coordinator: first frame is %T, want Hello or Resume", first)
 		return
 	}
-	id := int(hello.From)
-	st := &nodeStream{id: id}
-	c.mu.Lock()
-	c.conns[id] = conn
-	c.streams = append(c.streams, st)
-	c.mu.Unlock()
+
 	for {
 		// Generous read deadline: nodes stream continuously while alive,
 		// and a wedged node should fail the run loudly, not hang it.
-		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-		_, m, err := wire.ReadFrame(br)
+		rawConn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		seq, m, err := wire.ReadFrame(br)
 		if err != nil {
 			select {
 			case <-c.closed:
 			default:
 				if !errors.Is(err, net.ErrClosed) {
-					c.logf("coordinator: node %d stream: %v", id, err)
+					c.logf("coordinator: node %d stream: %v", st.id, err)
 				}
 			}
 			return
 		}
-		if bye := c.ingest(id, st, m); bye {
+		st.ingestMu.Lock()
+		st.mu.Lock()
+		if st.owner != conn {
+			// Superseded mid-read: a newer connection (resume or
+			// relaunch) owns the session. Frames still buffered on this
+			// one must not be ingested — they would interleave with (or,
+			// after a relaunch's sequence reset, masquerade as) the
+			// successor's.
+			st.mu.Unlock()
+			st.ingestMu.Unlock()
 			return
+		}
+		switch {
+		case seq <= st.lastSeq:
+			// Resume replay overlap (the client retransmits everything
+			// past the last ResumeAck, which may include frames that did
+			// arrive): drop the duplicate.
+			st.mu.Unlock()
+			st.ingestMu.Unlock()
+			continue
+		case seq == st.lastSeq+1:
+			st.lastSeq = seq
+			st.mu.Unlock()
+		default:
+			// A gap can only mean a frame was lost inside a live TCP
+			// stream — corruption, not congestion. Drop the connection;
+			// the client's session resume replays from the last
+			// contiguous frame.
+			st.mu.Unlock()
+			st.ingestMu.Unlock()
+			c.logf("coordinator: node %d: sequence gap (%d after %d); dropping connection for resume",
+				st.id, seq, st.lastSeq)
+			return
+		}
+		act, epoch := c.ingest(st, m)
+		st.ingestMu.Unlock()
+		// The broadcasts run outside every session lock (they take
+		// shutdownMu, which handshakes take before ingestMu — holding
+		// ingestMu here would invert that order) and revalidate against
+		// the current epoch, so a decision a concurrent rejoin just
+		// voided dies in revalidation instead of racing onto the wire.
+		switch act {
+		case actAllDone:
+			c.broadcastShutdown(epoch)
+		case actAllByes:
+			c.commitRun(epoch)
 		}
 	}
 }
 
-// ingest folds one frame from node id into the coordinator state,
-// reporting whether it was the node's final bye. Trace traffic — the
-// volume — lands in the connection's own staging buffer and the
-// journal (which has its own lock); only the rare coordination frames
-// (Candidate, Done, Shutdown) touch c.mu.
-func (c *Coordinator) ingest(id int, st *nodeStream, m wire.Msg) (bye bool) {
+// restartClusterLocked runs the §8 controlled re-execution decision
+// after node id relaunched: bump the epoch, void the completion
+// progress of the abandoned execution — including a pending Shutdown,
+// whose byes can now never complete — and order every node to restart.
+// The caller holds shutdownMu, which serializes this decision against
+// Shutdown/Commit broadcasts and resume replays.
+func (c *Coordinator) restartClusterLocked(id int) {
+	c.shutdown = false
+	c.mu.Lock()
+	c.epoch++
+	c.restarts++
+	e := c.epoch
+	c.doneCount, c.byeCount = 0, 0
+	for i := range c.doneSeen {
+		c.doneSeen[i] = false
+		c.byeSeen[i] = false
+	}
+	conns := c.snapshotConnsLocked()
+	c.mu.Unlock()
+	c.logf("coordinator: node %d rejoined; restarting cluster at epoch %d", id, e)
+	c.broadcast(conns, wire.Restart{Epoch: e}, "restart")
+}
+
+// snapshotConnsLocked copies the connection table for a broadcast.
+// Caller holds c.mu.
+func (c *Coordinator) snapshotConnsLocked() map[int]*coordConn {
+	conns := make(map[int]*coordConn, len(c.conns))
+	for id, conn := range c.conns {
+		conns[id] = conn
+	}
+	return conns
+}
+
+// broadcast writes m to every connection, closing any whose write
+// fails: the peer's session resume then replays the coordinator's
+// current decision state (epoch, shutdown, commit), so a failed
+// broadcast write becomes a reconnect-and-catch-up instead of a
+// silently missed decision.
+func (c *Coordinator) broadcast(conns map[int]*coordConn, m wire.Msg, what string) {
+	for id, conn := range conns {
+		if err := conn.writeFrame(c.opt, m); err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				c.logf("coordinator: node %d: %s write: %v", id, what, err)
+			}
+			conn.Close()
+		}
+	}
+}
+
+// ingestAction is what a frame's ingest obligates the caller to do
+// once every session lock is released.
+type ingestAction int
+
+const (
+	actNone    ingestAction = iota
+	actAllDone              // every Done for the returned epoch is in: broadcast Shutdown
+	actAllByes              // every bye for the returned epoch is in: commit the run
+)
+
+// ingest folds one frame from a node's stream into the coordinator
+// state, reporting the completion action (if any) it triggered and the
+// epoch that action belongs to. Trace traffic — the volume — lands in
+// the session's own staging under the session lock; only the rare
+// coordination frames (Done, Shutdown, EpochMark) touch c.mu. Done and
+// bye count toward completion only when the stream is at the cluster
+// epoch: a Done raced by a Restart belongs to a voided execution.
+func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32) {
 	switch v := m.(type) {
 	case wire.Trace:
+		st.mu.Lock()
 		st.ops = append(st.ops, v.Ops...)
+		st.mu.Unlock()
 	case wire.TraceOpBatch:
+		st.mu.Lock()
 		st.ops = append(st.ops, v.Ops...)
+		st.mu.Unlock()
 	case wire.JournalEvent:
-		c.journal.Append(obs.Event{
+		st.mu.Lock()
+		st.events = append(st.events, obs.Event{
 			At: v.At, Proc: int(v.Proc), Kind: obs.Kind(v.Kind), Name: v.Name,
 			A: v.A, B: v.B, C: v.C, VC: v.VC,
 		})
+		st.mu.Unlock()
 	case wire.JournalBatch:
+		st.mu.Lock()
 		for _, e := range v.Events {
-			c.journal.Append(obs.Event{
+			st.events = append(st.events, obs.Event{
 				At: e.At, Proc: int(e.Proc), Kind: obs.Kind(e.Kind), Name: e.Name,
 				A: e.A, B: e.B, C: e.C, VC: e.VC,
 			})
 		}
+		st.mu.Unlock()
 	case wire.Candidate:
-		c.ingestCandidate(v)
+		c.ingestCandidate(st, v)
 	case wire.CandidateBatch:
 		for _, cand := range v.Cands {
-			c.ingestCandidate(cand)
+			c.ingestCandidate(st, cand)
 		}
-	case wire.Done:
+	case wire.EpochMark:
+		st.mu.Lock()
+		if v.Epoch > st.epoch {
+			st.discardEpochLocked(v.Epoch)
+		}
+		st.mu.Unlock()
 		c.mu.Lock()
-		c.stats[id] = Stats{
+		if v.Epoch > c.epoch {
+			// A mark above our epoch means we are the one missing state —
+			// a restarted coordinator rebuilding from session replays.
+			// Adopt it and recount completion from the replayed streams.
+			c.epoch = v.Epoch
+			c.doneCount, c.byeCount = 0, 0
+			for i := range c.doneSeen {
+				c.doneSeen[i] = false
+				c.byeSeen[i] = false
+			}
+		}
+		c.mu.Unlock()
+	case wire.Done:
+		st.mu.Lock()
+		se := st.epoch
+		st.mu.Unlock()
+		c.mu.Lock()
+		if se != c.epoch {
+			c.mu.Unlock()
+			return actNone, 0
+		}
+		// A node reports Done twice at its final epoch — once when its
+		// application finishes, once with the closing tallies in its bye
+		// phase — so later reports overwrite, only the first counts.
+		c.stats[st.id] = Stats{
 			Requests:    int(v.Requests),
 			Handoffs:    int(v.Handoffs),
 			CtlMessages: int(v.CtlMessages),
 		}
 		for _, ns := range v.Responses {
-			c.stats[id].Responses = append(c.stats[id].Responses, time.Duration(ns))
+			c.stats[st.id].Responses = append(c.stats[st.id].Responses, time.Duration(ns))
 		}
-		first := !c.doneSeen[id]
+		first := !c.doneSeen[st.id]
 		if first {
-			c.doneSeen[id] = true
+			c.doneSeen[st.id] = true
 			c.doneCount++
 		}
 		all := c.doneCount == c.n
+		e := c.epoch
 		c.mu.Unlock()
 		if first && all {
-			c.broadcastShutdown()
+			return actAllDone, e
 		}
 	case wire.Shutdown:
+		st.mu.Lock()
+		se := st.epoch
+		st.mu.Unlock()
 		c.mu.Lock()
-		c.byeCount++
-		all := c.byeCount == c.n
+		all := false
+		e := c.epoch
+		if se == c.epoch && v.Epoch == c.epoch && !c.byeSeen[st.id] {
+			c.byeSeen[st.id] = true
+			c.byeCount++
+			all = c.byeCount == c.n
+		}
 		c.mu.Unlock()
 		if all {
-			close(c.allByes)
+			return actAllByes, e
 		}
-		return true
 	default:
-		c.logf("coordinator: node %d: unexpected %T", id, m)
+		c.logf("coordinator: node %d: unexpected %T", st.id, m)
 	}
-	return false
+	return actNone, 0
 }
 
-func (c *Coordinator) ingestCandidate(v wire.Candidate) {
+func (c *Coordinator) ingestCandidate(st *nodeSession, v wire.Candidate) {
 	c.cands.Inc()
-	c.mu.Lock()
-	c.candidates++
-	c.mu.Unlock()
-	c.journal.Append(obs.Event{
+	st.mu.Lock()
+	st.cands++
+	st.events = append(st.events, obs.Event{
 		Proc: int(v.Proc), Kind: obs.KindControl, Name: "monitor.candidate",
 		A: v.LoIdx, B: v.HiIdx, VC: v.Hi,
 	})
+	st.mu.Unlock()
 }
 
 // IngestBench replays pre-encoded frame bodies through the
@@ -598,35 +1285,68 @@ func (c *Coordinator) ingestCandidate(v wire.Candidate) {
 func IngestBench(n int, journal *obs.Journal, bodies [][]byte) (int, error) {
 	c := &Coordinator{
 		n: n, journal: journal, logf: func(string, ...any) {},
-		stats: make([]Stats, n), doneSeen: make([]bool, n),
+		sessions: map[int]*nodeSession{},
+		stats:    make([]Stats, n),
+		doneSeen: make([]bool, n), byeSeen: make([]bool, n),
 	}
-	st := &nodeStream{id: 0}
+	st := &nodeSession{id: 0}
 	for _, body := range bodies {
 		_, m, err := wire.DecodeBody(body)
 		if err != nil {
 			return 0, err
 		}
-		c.ingest(0, st, m)
+		c.ingest(st, m)
+	}
+	for _, e := range st.events {
+		journal.Append(e)
 	}
 	return len(st.ops), nil
 }
 
-// broadcastShutdown tells every node the cluster is done. Exactly one
-// broadcast per run; it is the only coordinator→node write, so no
-// per-connection write serialization is needed.
-func (c *Coordinator) broadcastShutdown() {
-	c.shutdownOnce.Do(func() {
-		c.mu.Lock()
-		conns := make([]net.Conn, 0, len(c.conns))
-		for _, conn := range c.conns {
-			conns = append(conns, conn)
-		}
-		c.mu.Unlock()
-		for _, conn := range conns {
-			conn.SetWriteDeadline(time.Now().Add(c.opt.WriteTimeout))
-			if err := wire.WriteFrame(conn, 0, wire.Shutdown{}); err != nil {
-				c.logf("coordinator: shutdown write: %v", err)
-			}
-		}
-	})
+// broadcastShutdown tells every node the execution at epoch e is
+// complete — once the decision survives revalidation. A crashed-node
+// rejoin can land between the last Done being counted and this call
+// taking shutdownMu; the restart voided epoch e, and the stale
+// decision must die here rather than race its Restart onto the wire
+// (the node side latches whichever arrives first, so a raced Shutdown
+// would strand part of the cluster in its bye phase while the rest
+// re-executes — the 2/4-done hang).
+func (c *Coordinator) broadcastShutdown(e uint32) {
+	c.shutdownMu.Lock()
+	defer c.shutdownMu.Unlock()
+	if c.shutdown || c.committed {
+		return
+	}
+	c.mu.Lock()
+	valid := c.epoch == e && c.doneCount == c.n
+	conns := c.snapshotConnsLocked()
+	c.mu.Unlock()
+	if !valid {
+		return
+	}
+	c.shutdown = true
+	c.broadcast(conns, wire.Shutdown{Epoch: e}, "shutdown")
+}
+
+// commitRun seals the run at epoch e once every bye is in and the
+// decision survives revalidation (a rejoin after the last bye restarts
+// the cluster instead — until this commit, a completed execution is
+// still voidable). After it, no restart is possible, parked nodes may
+// exit, and Wait assembles the capture.
+func (c *Coordinator) commitRun(e uint32) {
+	c.shutdownMu.Lock()
+	defer c.shutdownMu.Unlock()
+	if c.committed || !c.shutdown {
+		return
+	}
+	c.mu.Lock()
+	valid := c.epoch == e && c.byeCount == c.n
+	conns := c.snapshotConnsLocked()
+	c.mu.Unlock()
+	if !valid {
+		return
+	}
+	c.committed = true
+	c.broadcast(conns, wire.Commit{}, "commit")
+	c.byeOnce.Do(func() { close(c.allByes) })
 }

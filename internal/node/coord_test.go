@@ -107,6 +107,20 @@ func runSynthNode(t *testing.T, addr string, i, n int) {
 		return
 	}
 	send(wire.Shutdown{})
+
+	// Stay parked until the coordinator seals the run: reading the
+	// Commit keeps the connection open through the bye collection, the
+	// real node lifecycle.
+	for {
+		_, m, err := wire.ReadFrame(br)
+		if err != nil {
+			t.Errorf("node %d: waiting for Commit: %v", i, err)
+			return
+		}
+		if _, ok := m.(wire.Commit); ok {
+			return
+		}
+	}
 }
 
 func TestCoordinatorConcurrentBatchIngest(t *testing.T) {
@@ -119,6 +133,7 @@ func TestCoordinatorConcurrentBatchIngest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer c.Close()
 	for i := 0; i < n; i++ {
 		go runSynthNode(t, c.Addr(), i, n)
 	}

@@ -15,10 +15,15 @@ import (
 // machinery without changing protocol semantics, which is what makes
 // robustness testable.
 //
-// The shim applies only to node↔node protocol traffic. Link-control
-// frames (Hello, LinkAck) and the coordinator capture stream are
-// exempt: acks are idempotent and self-healing anyway, and perturbing
-// the trace capture would test the harness, not the protocol.
+// Drop/Dup/Delay/Jitter apply only to node↔node protocol traffic.
+// Link-control frames (Hello, LinkAck) and the coordinator capture
+// stream are exempt: acks are idempotent and self-healing anyway, and
+// perturbing individual capture writes would test the harness, not the
+// protocol. Partitions are the exception: a Partition window severs
+// links wholesale — every write, ack, and redial on the cut, and (with
+// Coord set) the affected nodes' coordinator capture streams too — so
+// the capture stream's own ARQ and session-resume machinery is
+// exercised by real outages, not per-frame noise.
 type Faults struct {
 	// Drop is the probability a write attempt is silently skipped. The
 	// frame stays unacknowledged and is retransmitted, so Drop < 1
@@ -35,11 +40,102 @@ type Faults struct {
 	// Seed makes the decision streams reproducible. Two runs with the
 	// same Seed, topology and send pattern make identical choices.
 	Seed int64
+	// Partitions is the link-partition schedule: time windows, relative
+	// to the run start, during which groups of nodes cannot reach each
+	// other. Unlike the probabilistic faults above, a partition severs
+	// affected links completely — writes, acks, and redials — until the
+	// window closes (heals).
+	Partitions []Partition
+}
+
+// Partition is one scheduled link outage: from Start (relative to the
+// run start) for Dur, every link between a node in A and a node in B is
+// severed in both directions. An empty B means "everyone not in A" —
+// the classic split of A away from the rest of the cluster. With Coord
+// set, the A-side nodes also lose their coordinator capture streams for
+// the window, exercising the stream's buffering, redial and
+// session-resume path.
+type Partition struct {
+	Start time.Duration
+	Dur   time.Duration
+	A     []int
+	B     []int // empty: the complement of A
+	Coord bool  // also sever A-nodes' coordinator streams
+}
+
+// severs reports whether this partition cuts the (from, to) link.
+func (p Partition) severs(from, to int) bool {
+	inA, inB := contains(p.A, from), contains(p.A, to)
+	if len(p.B) == 0 {
+		// A vs rest: cut iff exactly one endpoint is in A.
+		return inA != inB
+	}
+	return (inA && contains(p.B, to)) || (inB && contains(p.B, from))
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // enabled reports whether the shim would ever perturb a write.
 func (f Faults) enabled() bool {
 	return f.Drop > 0 || f.Dup > 0 || f.Delay > 0 || f.Jitter > 0
+}
+
+// partitions is the runtime view of the Partition schedule, anchored to
+// the run's start instant so every node (and the coordinator stream)
+// agrees on window boundaries. A nil *partitions never severs.
+type partitions struct {
+	start time.Time
+	list  []Partition
+}
+
+// newPartitions anchors f.Partitions at start. Returns nil when the
+// schedule is empty, keeping the severed checks a single nil test on
+// unpartitioned runs.
+func newPartitions(f Faults, start time.Time) *partitions {
+	if len(f.Partitions) == 0 {
+		return nil
+	}
+	if start.IsZero() {
+		start = time.Now()
+	}
+	return &partitions{start: start, list: f.Partitions}
+}
+
+// meshSevered reports whether the (from, to) link is inside an open
+// partition window at time now.
+func (ps *partitions) meshSevered(from, to int, now time.Time) bool {
+	if ps == nil {
+		return false
+	}
+	since := now.Sub(ps.start)
+	for _, p := range ps.list {
+		if since >= p.Start && since < p.Start+p.Dur && p.severs(from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// coordSevered reports whether node id's coordinator stream is inside
+// an open Coord partition window at time now.
+func (ps *partitions) coordSevered(id int, now time.Time) bool {
+	if ps == nil {
+		return false
+	}
+	since := now.Sub(ps.start)
+	for _, p := range ps.list {
+		if p.Coord && since >= p.Start && since < p.Start+p.Dur && contains(p.A, id) {
+			return true
+		}
+	}
+	return false
 }
 
 // faultRand is one link's decision stream. Writer-goroutine-local: the

@@ -37,21 +37,32 @@ import (
 type link struct {
 	from, to int
 	addr     string
-	n        int // cluster size, for the Hello handshake
+	n        int // cluster size, for the Hello/Resume handshake
 	faults   *faultRand
+	parts    *partitions    // partition schedule; nil when none
+	epoch    *atomic.Uint32 // the transport's current re-execution epoch
 	opt      Timeouts
 	logf     func(string, ...any)
 	wm       wireMeters
 
-	mu      sync.Mutex // guards nextSeq, unacked
-	nextSeq uint64
-	unacked []outFrame
+	mu       sync.Mutex // guards nextSeq, unacked, curEpoch
+	nextSeq  uint64
+	unacked  []outFrame
+	curEpoch uint32 // epoch the queued frames belong to (stale acks are ignored)
 
 	sendFlag chan struct{} // cap 1: unsent frames are pending in unacked
 	ackFlag  chan struct{} // cap 1: an ack is pending in ackCum
-	ackCum   atomic.Uint64 // highest cumulative ack to announce (+1, so 0 = none)
-	done     chan struct{}
-	wg       sync.WaitGroup
+
+	// The pending cumulative ack is epoch-tagged: an ack describes one
+	// epoch's receive state, and announcing a stale value on a stream
+	// handshaken at a newer epoch would prune frames the peer still owes
+	// the new execution.
+	ackMu    sync.Mutex
+	ackCum   uint64 // highest cumulative ack to announce (+1, so 0 = none)
+	ackEpoch uint32
+
+	done chan struct{}
+	wg   sync.WaitGroup
 
 	// Writer-goroutine-owned scratch: frame bytes are copied out of the
 	// pooled buffers under l.mu, so an ack racing the write can return a
@@ -60,8 +71,9 @@ type link struct {
 	marks []int // end offset of each frame within wbuf
 	abuf  []byte
 
-	connMu    sync.Mutex // guards conn for close-from-outside
+	connMu    sync.Mutex // guards conn and the redial backoff state
 	conn      net.Conn
+	connEpoch uint32 // the epoch conn handshook at; writes must match it
 	dialFails int
 	nextDial  time.Time
 }
@@ -105,6 +117,12 @@ type Timeouts struct {
 	IdleTimeout  time.Duration // read deadline renewal window
 	BackoffMin   time.Duration // first redial delay after a failure
 	BackoffMax   time.Duration // redial delay cap
+	// CoordDeadline bounds one coordinator (re)dial campaign: the
+	// overall time dialCoord (and each mid-run redial after a stream
+	// break) keeps retrying with capped exponential backoff before
+	// giving up. A slowly-restarting coordinator is reachable as long
+	// as it comes back within this window.
+	CoordDeadline time.Duration
 }
 
 func (t Timeouts) withDefaults() Timeouts {
@@ -119,13 +137,30 @@ func (t Timeouts) withDefaults() Timeouts {
 	def(&t.IdleTimeout, 500*time.Millisecond)
 	def(&t.BackoffMin, 5*time.Millisecond)
 	def(&t.BackoffMax, 500*time.Millisecond)
+	def(&t.CoordDeadline, 30*time.Second)
 	return t
 }
 
-func newLink(from, to, n int, addr string, faults Faults, opt Timeouts, wm wireMeters, logf func(string, ...any)) *link {
+// backoffDelay is the capped exponential redial backoff shared by the
+// mesh links and the coordinator stream: BackoffMin doubled per
+// consecutive failure, capped at BackoffMax.
+func backoffDelay(opt Timeouts, fails int) time.Duration {
+	if fails > 30 {
+		fails = 30
+	}
+	d := opt.BackoffMin << fails
+	if d > opt.BackoffMax || d <= 0 {
+		d = opt.BackoffMax
+	}
+	return d
+}
+
+func newLink(from, to, n int, addr string, faults Faults, parts *partitions, epoch *atomic.Uint32, opt Timeouts, wm wireMeters, logf func(string, ...any)) *link {
 	l := &link{
 		from: from, to: to, addr: addr, n: n,
 		faults:   newFaultRand(faults, from, to),
+		parts:    parts,
+		epoch:    epoch,
 		opt:      opt,
 		logf:     logf,
 		wm:       wm,
@@ -157,18 +192,22 @@ func (l *link) Send(m wire.Msg) {
 }
 
 // Ack schedules a cumulative acknowledgement for the reverse direction
-// (frames this node received *from* l.to). Coalescing is free: only the
-// latest value matters.
-func (l *link) Ack(cum uint64) {
-	for {
-		old := l.ackCum.Load()
-		if cum+1 <= old {
-			return
-		}
-		if l.ackCum.CompareAndSwap(old, cum+1) {
-			break
-		}
+// (frames this node received *from* l.to), tagged with the epoch of the
+// receive state it describes. Coalescing is free: within an epoch only
+// the latest value matters, and a newer epoch supersedes outright.
+func (l *link) Ack(cum uint64, epoch uint32) {
+	l.ackMu.Lock()
+	switch {
+	case epoch > l.ackEpoch:
+		l.ackEpoch = epoch
+		l.ackCum = cum + 1
+	case epoch == l.ackEpoch && cum+1 > l.ackCum:
+		l.ackCum = cum + 1
+	default:
+		l.ackMu.Unlock()
+		return
 	}
+	l.ackMu.Unlock()
 	select {
 	case l.ackFlag <- struct{}{}:
 	default:
@@ -177,9 +216,15 @@ func (l *link) Ack(cum uint64) {
 
 // onAck prunes frames acknowledged by the peer, returning their buffers
 // to the pool. Safe against an in-flight write: the writer copied the
-// bytes out under l.mu before writing.
-func (l *link) onAck(cum uint64) {
+// bytes out under l.mu before writing. epoch is the acknowledging
+// stream's handshake epoch — an ack read from a stale connection just
+// before an epoch reset must not prune the new epoch's frames.
+func (l *link) onAck(cum uint64, epoch uint32) {
 	l.mu.Lock()
+	if epoch != l.curEpoch {
+		l.mu.Unlock()
+		return
+	}
 	i := 0
 	for i < len(l.unacked) && l.unacked[i].seq <= cum {
 		wire.PutBuffer(l.unacked[i].buf)
@@ -188,6 +233,34 @@ func (l *link) onAck(cum uint64) {
 	}
 	l.unacked = l.unacked[i:]
 	l.mu.Unlock()
+}
+
+// reset abandons the current epoch's traffic for a controlled
+// re-execution at epoch e: unacknowledged frames are discarded (the old
+// execution they belonged to is void), sequence numbering restarts, the
+// connection is dropped so both sides re-handshake at the new epoch,
+// and the redial backoff is cleared.
+func (l *link) reset(e uint32) {
+	l.mu.Lock()
+	for _, f := range l.unacked {
+		wire.PutBuffer(f.buf)
+	}
+	l.unacked = nil
+	l.nextSeq = 0
+	l.curEpoch = e
+	l.mu.Unlock()
+	l.ackMu.Lock()
+	l.ackCum = 0
+	l.ackEpoch = e
+	l.ackMu.Unlock()
+	l.connMu.Lock()
+	if l.conn != nil {
+		l.conn.Close()
+		l.conn = nil
+	}
+	l.dialFails = 0
+	l.nextDial = time.Time{}
+	l.connMu.Unlock()
 }
 
 // close stops the writer and drops the connection.
@@ -252,14 +325,17 @@ func (l *link) writer() {
 			l.flush(true)
 			arm()
 		case <-l.ackFlag:
-			if cum := l.ackCum.Load(); cum > 0 {
+			l.ackMu.Lock()
+			cum, epoch := l.ackCum, l.ackEpoch
+			l.ackMu.Unlock()
+			if cum > 0 {
 				// Acks are fault-exempt (idempotent and self-healing; a
 				// shim-dropped ack under receiver dedup would retransmit
 				// forever) and never coalesce into a faulted batch.
 				l.abuf = wire.AppendFrame(l.abuf[:0], 0, wire.LinkAck{Cum: cum - 1})
 				l.wm.frames.Inc()
 				l.wm.bytes.Add(int64(len(l.abuf)))
-				l.writeFrame(l.abuf)
+				l.writeFrame(l.abuf, epoch)
 			}
 		}
 	}
@@ -276,6 +352,12 @@ func (l *link) flush(retransmit bool) {
 	l.wbuf = l.wbuf[:0]
 	l.marks = l.marks[:0]
 	l.mu.Lock()
+	// The copied frames are pinned to the epoch they were queued under: a
+	// Reset can land while the shim delays a write below, and writing the
+	// abandoned epoch's bytes on a freshly-handshaken stream would let
+	// them masquerade as the new epoch's small sequence numbers (a stale
+	// protocol ack delivered into the re-execution grants instantly).
+	epoch := l.curEpoch
 	for i := range l.unacked {
 		f := &l.unacked[i]
 		if f.sent && !retransmit {
@@ -293,7 +375,7 @@ func (l *link) flush(retransmit bool) {
 	l.wm.batch.Observe(int64(len(l.marks)))
 	if l.faults == nil {
 		l.wm.bytes.Add(int64(len(l.wbuf)))
-		l.writeFrame(l.wbuf)
+		l.writeFrame(l.wbuf, epoch)
 		return
 	}
 	start := 0
@@ -312,19 +394,29 @@ func (l *link) flush(retransmit bool) {
 			continue
 		}
 		l.wm.bytes.Add(int64(len(frame)))
-		l.writeFrame(frame)
+		l.writeFrame(frame, epoch)
 		if d.dup {
 			l.wm.bytes.Add(int64(len(frame)))
-			l.writeFrame(frame)
+			l.writeFrame(frame, epoch)
 		}
 	}
 }
 
 // writeFrame writes one already-encoded frame (or coalesced batch) with
-// a deadline, (re)dialing first if needed. Errors drop the connection;
-// recovery is the retransmit pass's job.
-func (l *link) writeFrame(buf []byte) {
-	conn := l.ensureConn()
+// a deadline, (re)dialing first if needed. epoch is the epoch the bytes
+// belong to; they only go out on a connection handshaken at exactly that
+// epoch, so traffic of an abandoned execution can never slip into a
+// fresh sequence space. Errors drop the connection; recovery is the
+// retransmit pass's job. An open partition window severs the link
+// completely: the frame is skipped (it stays unacknowledged and the RTO
+// pass re-offers it after the heal) and any live connection is torn down
+// so no TCP buffer smuggles bytes across the cut.
+func (l *link) writeFrame(buf []byte, epoch uint32) {
+	if l.parts.meshSevered(l.from, l.to, time.Now()) {
+		l.dropConn()
+		return
+	}
+	conn := l.ensureConn(epoch)
 	if conn == nil {
 		return
 	}
@@ -339,46 +431,77 @@ func (l *link) writeFrame(buf []byte) {
 	}
 }
 
-// ensureConn returns the live connection, dialing (with capped
-// exponential backoff between attempts) when there is none.
-func (l *link) ensureConn() net.Conn {
+// ensureConn returns the live connection handshaken at exactly `epoch`,
+// dialing (with capped exponential backoff between attempts) when there
+// is none. A connection at any other epoch is stale — torn down, not
+// reused — and dialing is refused both while a partition window severs
+// the link and when the transport has already moved past `epoch` (the
+// frames wanting this connection belong to an abandoned execution). The
+// handshake frame is Hello at epoch 0 and Resume{Epoch} after any
+// controlled re-execution restart: the acceptor rejects mismatched
+// epochs, so a stale peer cannot feed frames from a discarded execution
+// into the new one.
+func (l *link) ensureConn(epoch uint32) net.Conn {
 	l.connMu.Lock()
-	conn := l.conn
-	l.connMu.Unlock()
-	if conn != nil {
-		return conn
+	defer l.connMu.Unlock()
+	if l.conn != nil {
+		if l.connEpoch == epoch {
+			return l.conn
+		}
+		l.conn.Close()
+		l.conn = nil
+	}
+	if l.epochNow() != epoch {
+		return nil
 	}
 	if time.Now().Before(l.nextDial) {
 		return nil
 	}
+	if l.parts.meshSevered(l.from, l.to, time.Now()) {
+		return nil
+	}
 	c, err := net.DialTimeout("tcp", l.addr, l.opt.DialTimeout)
 	if err != nil {
-		backoff := l.opt.BackoffMin << l.dialFails
-		if backoff > l.opt.BackoffMax || backoff <= 0 {
-			backoff = l.opt.BackoffMax
-		}
+		l.nextDial = time.Now().Add(backoffDelay(l.opt, l.dialFails))
 		if l.dialFails < 30 {
 			l.dialFails++
 		}
-		l.nextDial = time.Now().Add(backoff)
 		return nil
 	}
-	l.dialFails = 0
-	l.nextDial = time.Time{}
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	// Handshake; the unacknowledged tail is replayed by the next RTO
-	// pass, and the peer's dedup makes the replay harmless.
+	// pass, and the peer's dedup makes the replay harmless. A rejected
+	// epoch (peer not yet restarted, or we are behind) surfaces as the
+	// peer closing the connection; the next dial retries.
+	var hs wire.Msg = wire.Hello{From: int32(l.from), N: int32(l.n)}
+	if epoch > 0 {
+		hs = wire.Resume{From: int32(l.from), N: int32(l.n), Epoch: epoch}
+	}
 	c.SetWriteDeadline(time.Now().Add(l.opt.WriteTimeout))
-	if _, err := c.Write(wire.Marshal(0, wire.Hello{From: int32(l.from), N: int32(l.n)})); err != nil {
+	if _, err := c.Write(wire.Marshal(0, hs)); err != nil {
 		c.Close()
+		l.nextDial = time.Now().Add(backoffDelay(l.opt, l.dialFails))
+		if l.dialFails < 30 {
+			l.dialFails++
+		}
 		return nil
 	}
-	l.connMu.Lock()
+	l.dialFails = 0
+	l.nextDial = time.Time{}
 	l.conn = c
-	l.connMu.Unlock()
+	l.connEpoch = epoch
 	return c
+}
+
+// epochNow is the transport's current re-execution epoch; 0 when the
+// link runs standalone (tests) or the run never restarted.
+func (l *link) epochNow() uint32 {
+	if l.epoch == nil {
+		return 0
+	}
+	return l.epoch.Load()
 }
 
 // bufReader sizes the per-connection read buffer.

@@ -23,6 +23,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -33,6 +34,15 @@ import (
 	"predctl/internal/online"
 	"predctl/internal/wire"
 )
+
+// ErrCrashed reports that a node was torn down by its Config.Crash
+// channel: the in-process stand-in for kill -9. Everything stops
+// abruptly — no final flush, no bye, connections just close — so the
+// cluster observes exactly what a dead process would leave behind. The
+// harness (or an operator relaunching `pctl node`) starts a fresh Run,
+// whose Hello the coordinator recognizes as a rejoin and answers with
+// a controlled re-execution restart.
+var ErrCrashed = errors.New("node: crashed by injection")
 
 // Stats aggregates one node's run, mirroring online.Stats with
 // wall-clock latencies.
@@ -74,8 +84,24 @@ type Config struct {
 	Logf         func(string, ...any)
 	// Start is the run epoch journal timestamps are relative to; the
 	// zero value means "now". Clusters share one epoch so the merged
-	// journal's timestamps are comparable.
+	// journal's timestamps are comparable (and partition windows line
+	// up across nodes).
 	Start time.Time
+	// Crash, when non-nil, injects a crash: a receive makes Run abandon
+	// everything mid-flight and return ErrCrashed, the in-process
+	// equivalent of killing the daemon.
+	Crash <-chan struct{}
+	// WaitRestart marks this Run as the relaunch of a crashed node: it
+	// holds off executing until the coordinator's restart decision
+	// arrives and starts directly at the fresh epoch. Without it a
+	// relaunch would execute at epoch 0 while the cluster is mid-epoch —
+	// and on the run's first crash the epochs collide: the relaunch's
+	// fresh mesh sequence space meets its peers' old per-peer receive
+	// state, so stale retransmits from the dead incarnation's
+	// conversations are delivered into the new one (a replayed handoff
+	// ack can grant a request it never answered) and the fresh frames
+	// are acknowledged as duplicates without being delivered.
+	WaitRestart bool
 }
 
 // meters is the node's metric set (nil-safe, like online's). Response
@@ -116,10 +142,14 @@ type localInput struct {
 	id   uint64 // trace id of the local message
 }
 
-// node is one running daemon: application goroutine, controller
-// goroutine, transport, coordinator stream.
+// node is one epoch's execution state: application goroutine,
+// controller goroutine, capture, clocks. The transport and coordinator
+// stream outlive it — a controlled re-execution restart discards the
+// node state and builds a fresh one at the next epoch on the same
+// transport (reset) and stream (epoch-marked).
 type node struct {
 	cfg     Config
+	epoch   uint32
 	app     int // logical trace process of the application (= cfg.ID)
 	ctl     int // logical trace process of the controller (= cfg.N + cfg.ID)
 	tr      *Transport
@@ -138,6 +168,8 @@ type node struct {
 	grantCh   chan grantMsg
 	ctlQuit   chan struct{} // stops the controller loop
 	ctlExited chan struct{}
+	abort     chan struct{} // unblocks the app on restart/crash
+	appExited chan struct{}
 	appDone   chan struct{}
 
 	// handoffPending pairs Released with the Grant it unblocks (both on
@@ -166,9 +198,17 @@ func (nd *node) journalCtl(proc int, kind obs.Kind, name string, a, b, c int64, 
 }
 
 // Run executes one node to completion: the application's Rounds
-// critical sections under anti-token control, then serving handoffs for
-// the rest of the cluster until the coordinator says Shutdown. It
+// critical sections under anti-token control, then serving handoffs
+// for the rest of the cluster until the coordinator says Shutdown. It
 // returns the node's final tallies.
+//
+// A Restart from the coordinator (another node crashed and relaunched)
+// triggers the paper's §8 controlled re-execution: the current
+// execution is abandoned wherever it stands, the mesh resets to the
+// new epoch, the abandoned capture is discarded on the stream, and the
+// whole workload re-executes from scratch. Only the final epoch's
+// capture survives at the coordinator, so recovery yields the same
+// trace a fault-free run would have.
 func Run(cfg Config) (*Stats, error) {
 	if cfg.N < 2 || cfg.ID < 0 || cfg.ID >= cfg.N {
 		return nil, fmt.Errorf("node: id %d of %d out of range", cfg.ID, cfg.N)
@@ -189,8 +229,9 @@ func Run(cfg Config) (*Stats, error) {
 	}
 	opt := cfg.Timeouts.withDefaults()
 	batch := cfg.Batching.withDefaults()
+	parts := newPartitions(cfg.Faults, start)
 	cwm := newWireMeters(cfg.Reg, "coord", cfg.MetricLabels)
-	cc, err := dialCoord(cfg.Coord, cfg.ID, cfg.N, batch, cwm, opt, logf)
+	cc, err := dialCoord(cfg.Coord, cfg.ID, cfg.N, batch, cwm, opt, parts, logf)
 	if err != nil {
 		return nil, err
 	}
@@ -198,13 +239,98 @@ func Run(cfg Config) (*Stats, error) {
 		ID: cfg.ID, N: cfg.N, Addrs: cfg.Addrs, Listener: cfg.Listener,
 		Faults: cfg.Faults, Timeouts: cfg.Timeouts,
 		Reg: cfg.Reg, MetricLabels: cfg.MetricLabels, Logf: logf,
+		Start: start,
 	})
 	if err != nil {
 		cc.close()
 		return nil, err
 	}
-	nd := &node{
-		cfg: cfg, app: cfg.ID, ctl: cfg.N + cfg.ID,
+
+	epoch := uint32(0)
+	if cfg.WaitRestart {
+		// A relaunched process must not execute at epoch 0 — the cluster
+		// is mid-epoch and its peers' link state still names the dead
+		// incarnation. The coordinator always answers a pre-commit
+		// rejoin Hello with a restart, so wait for that decision and
+		// start clean at the fresh epoch.
+		select {
+		case e := <-cc.restartCh:
+			tr.Reset(e)
+			cc.markEpoch(e)
+			epoch = e
+		case <-cc.commitCh:
+			// Rejoined after the run was sealed: nothing to re-execute,
+			// nothing to contribute. Stand down.
+			logf("node %d: rejoin refused (run committed); standing down", cfg.ID)
+			tr.Close()
+			cc.close()
+			return &Stats{}, nil
+		case <-cc.sessDone:
+			tr.Close()
+			cc.close()
+			return nil, fmt.Errorf("node %d: coordinator session lost before the rejoin restart", cfg.ID)
+		case <-cfg.Crash:
+			tr.Close()
+			cc.close()
+			return nil, ErrCrashed
+		}
+	}
+	for {
+		nd := newNodeState(cfg, epoch, tr, cc, start, logf)
+		// The capture's size trigger and the coordClient's interval tick
+		// together implement the size-or-interval flush policy.
+		nd.cap.kick, nd.cap.kickAt = cc.kickFlush, batch.MaxItems
+		cc.ensureFlusher(nd.cap.take)
+		out := nd.runEpoch()
+		switch out.kind {
+		case epochCrashed:
+			// kill -9 semantics: connections just die, nothing is
+			// flushed, no bye is sent. The coordinator keeps the session
+			// state and treats the relaunch's Hello as a rejoin.
+			tr.Close()
+			cc.stopFlusher(false)
+			cc.close()
+			return nil, ErrCrashed
+		case epochRestart:
+			logf("node %d: restarting at epoch %d (controlled re-execution)", cfg.ID, out.epoch)
+			tr.Reset(out.epoch)
+			cc.markEpoch(out.epoch)
+			epoch = out.epoch
+			// A Shutdown this restart superseded may still sit unread in
+			// the event buffer (the reader pushed it before the Restart);
+			// drop it so the new epoch can't mistake it for its own.
+			select {
+			case <-cc.shutdownEv:
+			default:
+			}
+		case epochShutdown:
+			tr.Close()
+			cc.stopFlusher(true)
+			if !out.byed {
+				// Terminal session loss before the bye phase: the bye
+				// dance is unreachable, but buffer the closing frames
+				// anyway — if the loss was close()-vs-teardown noise they
+				// still make it out.
+				cc.send(nd.doneFrame())
+				cc.send(wire.Shutdown{Epoch: nd.epoch})
+			}
+			// A bye buffered behind a severed or broken stream must be
+			// delivered by resume before the session dies, or the
+			// coordinator waits for it forever.
+			cc.drain(opt.CoordDeadline)
+			cc.close()
+			nd.statsMu.Lock()
+			s := nd.stats
+			nd.statsMu.Unlock()
+			return &s, nil
+		}
+	}
+}
+
+// newNodeState builds one epoch's fresh execution state.
+func newNodeState(cfg Config, epoch uint32, tr *Transport, cc *coordClient, start time.Time, logf func(string, ...any)) *node {
+	return &node{
+		cfg: cfg, epoch: epoch, app: cfg.ID, ctl: cfg.N + cfg.ID,
 		tr: tr, cc: cc,
 		cap:       &capture{enabled: true},
 		clk:       newClock(cfg.N, cfg.ID),
@@ -217,39 +343,83 @@ func Run(cfg Config) (*Stats, error) {
 		grantCh:   make(chan grantMsg, 1),
 		ctlQuit:   make(chan struct{}),
 		ctlExited: make(chan struct{}),
+		abort:     make(chan struct{}),
+		appExited: make(chan struct{}),
 		appDone:   make(chan struct{}),
 	}
-	// The capture's size trigger and the coordClient's interval tick
-	// together implement the size-or-interval flush policy.
-	nd.cap.kick, nd.cap.kickAt = cc.kickFlush, batch.MaxItems
-	cc.startFlusher(nd.cap.take)
+}
+
+// epochOutcome is how one epoch's execution ended.
+type epochOutcome struct {
+	kind  int
+	epoch uint32 // the target epoch for epochRestart
+	// byed reports that the bye dance already ran inside the epoch: the
+	// final flush, final Done and Shutdown bye went out when the
+	// coordinator's Shutdown arrived, and the node then parked until the
+	// Commit. The caller must not send them again.
+	byed bool
+}
+
+const (
+	epochShutdown = iota // coordinator says the run is complete
+	epochRestart         // coordinator ordered a controlled re-execution
+	epochCrashed         // Config.Crash fired
+)
+
+// runEpoch drives one execution attempt to an outcome and joins both
+// worker goroutines before returning, so no stale append can land in
+// the capture after the caller discards it.
+func (nd *node) runEpoch() epochOutcome {
 	go nd.controller()
 	go nd.application()
-
-	// App finished: report Done (responses are complete; the controller
-	// keeps serving handoffs, so message tallies grow until shutdown —
-	// and the flusher keeps streaming the capture).
-	<-nd.appDone
-	nd.cc.send(nd.doneFrame())
-
-	// Wait for the coordinator's Shutdown (or a lost coordinator, which
-	// ends the run the same way).
-	<-nd.cc.shutdownCh
-	close(nd.ctlQuit)
-	<-nd.ctlExited
-	tr.Close()
-
-	// Final flush: stop the flusher (it drains every remaining journal
-	// event and trace op), then the final tallies and the bye that tells
-	// the coordinator this node's capture stream is complete.
-	nd.cc.stopFlusher()
-	nd.cc.send(nd.doneFrame())
-	nd.cc.send(wire.Shutdown{})
-	nd.cc.close()
-	nd.statsMu.Lock()
-	s := nd.stats
-	nd.statsMu.Unlock()
-	return &s, nil
+	defer func() {
+		close(nd.abort)
+		close(nd.ctlQuit)
+		<-nd.ctlExited
+		<-nd.appExited
+	}()
+	appDone := nd.appDone
+	byed := false
+	for {
+		select {
+		case <-appDone:
+			// App finished: report Done (responses are complete; the
+			// controller keeps serving handoffs, so message tallies grow
+			// until shutdown — and the flusher keeps streaming capture).
+			appDone = nil
+			nd.cc.send(nd.doneFrame())
+		case e := <-nd.cc.shutdownEv:
+			// The coordinator believes this epoch is complete. Obey only
+			// if we still run it — a Shutdown for a voided epoch (a
+			// restart raced past it) is stale and must be ignored, or a
+			// node quits an execution the rest of the cluster is redoing.
+			if e != nd.epoch || byed {
+				continue
+			}
+			byed = true
+			// Bye: final-flush the capture, send the complete tallies and
+			// the epoch-tagged bye — then PARK. The transport stays up and
+			// the session stays resident until the coordinator's Commit,
+			// so a straggler crash-rejoin can still restart the cluster
+			// and this node re-executes instead of having already left.
+			nd.cc.stopFlusher(true)
+			nd.cc.send(nd.doneFrame())
+			nd.cc.send(wire.Shutdown{Epoch: nd.epoch})
+		case <-nd.cc.commitCh:
+			// The coordinator sealed the run: every node's bye arrived.
+			return epochOutcome{kind: epochShutdown, byed: byed}
+		case <-nd.cc.sessDone:
+			// Terminal session loss: the resume loop gave up. No Commit
+			// can arrive; exit with whatever this node has.
+			return epochOutcome{kind: epochShutdown, byed: byed}
+		case e := <-nd.cc.restartCh:
+			if e > nd.epoch {
+				return epochOutcome{kind: epochRestart, epoch: e}
+			}
+		case <-nd.cfg.Crash:
+			return epochOutcome{kind: epochCrashed}
+		}
+	}
 }
 
 // doneFrame snapshots the node's tallies as a wire.Done. At the first
@@ -295,6 +465,11 @@ func (nd *node) controller() {
 				mach.OnNowTrue()
 			}
 		case rv := <-nd.tr.RecvCh():
+			if rv.Epoch != nd.epoch {
+				// Queued before a controlled re-execution reset: the
+				// execution it belongs to is void.
+				continue
+			}
 			m, ok := rv.Msg.(wire.Ctl)
 			if !ok {
 				nd.logf("node %d: dropping unexpected %T from %d", nd.cfg.ID, rv.Msg, rv.From)
@@ -383,18 +558,29 @@ func (h *nodeHost) PickTarget() int {
 // report true again. Every state change and local protocol hop is
 // captured as trace ops of logical process nd.app.
 func (nd *node) application() {
-	defer close(nd.appDone)
+	defer close(nd.appExited)
 	rng := rand.New(rand.NewSource(nd.cfg.Seed + int64(nd.cfg.ID)*104729 + 1))
 	nd.cap.appendApp(wire.TraceOp{Op: wire.TraceInit, Proc: int32(nd.app), Name: "cs", Value: 0})
 	for r := 0; r < nd.cfg.Rounds; r++ {
 		nd.sleepThink(rng)
 
 		// RequestFalse: mayFalse to the controller, block on the grant.
+		// Both local hops abort cleanly on restart/crash — the grant may
+		// never come once the epoch is abandoned.
 		begin := time.Now()
 		id := nd.cap.msgID(nd.app)
 		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: id})
-		nd.ctlIn <- localInput{kind: locMayFalse, id: id}
-		g := <-nd.grantCh
+		select {
+		case nd.ctlIn <- localInput{kind: locMayFalse, id: id}:
+		case <-nd.abort:
+			return
+		}
+		var g grantMsg
+		select {
+		case g = <-nd.grantCh:
+		case <-nd.abort:
+			return
+		}
 		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceRecv, Proc: int32(nd.app), MsgID: g.id})
 		d := time.Since(begin)
 		nd.statsMu.Lock()
@@ -422,8 +608,13 @@ func (nd *node) application() {
 		// NowTrue: the local predicate holds again (A2 at the end).
 		tid := nd.cap.msgID(nd.app)
 		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: tid})
-		nd.ctlIn <- localInput{kind: locNowTrue, id: tid}
+		select {
+		case nd.ctlIn <- localInput{kind: locNowTrue, id: tid}:
+		case <-nd.abort:
+			return
+		}
 	}
+	close(nd.appDone)
 }
 
 // sleepThink sleeps a seeded-random think time in (Think/2, Think].

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predctl/internal/obs"
@@ -25,6 +26,18 @@ type Transport struct {
 	rs    []*recvState
 	logf  func(string, ...any)
 
+	// epoch is the controlled re-execution epoch (paper §8): bumped by
+	// Reset when the coordinator orders a restart after a crash. Links
+	// handshake with it, the acceptor rejects mismatches, and receive
+	// state is epoch-tagged so a stale connection cannot leak frames
+	// from a discarded execution into the new one.
+	epoch atomic.Uint32
+
+	// badPeer counts Send calls addressed outside the mesh
+	// (predctl_send_invalid_peer_total) — a controller bug surfaced as
+	// an error and a metric instead of a crash.
+	badPeer *obs.Counter
+
 	recvCh chan Recv
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -33,18 +46,25 @@ type Transport struct {
 	conns  map[net.Conn]struct{}
 }
 
-// Recv is one delivered protocol message.
+// Recv is one delivered protocol message. Epoch is the re-execution
+// epoch the frame was delivered under; consumers spanning a Reset can
+// discard deliveries queued before the restart.
 type Recv struct {
-	From int
-	Msg  wire.Msg
+	From  int
+	Epoch uint32
+	Msg   wire.Msg
 }
 
 // recvState is the per-peer receive half of the reliable link: dedup
-// and in-order delivery by sequence number.
+// and in-order delivery by sequence number. epoch pins the state to one
+// execution: deliveries from a connection handshaken at an older epoch
+// are dropped under the same lock that Reset takes, so a racing stale
+// stream cannot corrupt the fresh sequence space.
 type recvState struct {
-	mu   sync.Mutex
-	next uint64 // next expected seq (first frame is 1)
-	buf  map[uint64]wire.Msg
+	mu    sync.Mutex
+	next  uint64 // next expected seq (first frame is 1)
+	epoch uint32
+	buf   map[uint64]wire.Msg
 }
 
 // recvBufCap bounds buffered out-of-order frames per peer; beyond it a
@@ -65,6 +85,10 @@ type TransportConfig struct {
 	Reg          *obs.Registry
 	MetricLabels []obs.Label
 	Logf         func(string, ...any)
+	// Start anchors the Faults.Partitions schedule; zero means "now".
+	// Cluster runs share one instant so every node agrees on window
+	// boundaries.
+	Start time.Time
 }
 
 // NewTransport starts the mesh endpoint for node cfg.ID: it serves
@@ -101,12 +125,14 @@ func NewTransport(cfg TransportConfig) (*Transport, error) {
 		done:   make(chan struct{}),
 		conns:  map[net.Conn]struct{}{},
 	}
+	t.badPeer = cfg.Reg.Counter("predctl_send_invalid_peer_total", cfg.MetricLabels...)
 	wm := newWireMeters(cfg.Reg, "mesh", cfg.MetricLabels)
+	parts := newPartitions(cfg.Faults, cfg.Start)
 	for p := 0; p < cfg.N; p++ {
 		if p == cfg.ID {
 			continue
 		}
-		t.links[p] = newLink(cfg.ID, p, cfg.N, cfg.Addrs[p], cfg.Faults, opt, wm, logf)
+		t.links[p] = newLink(cfg.ID, p, cfg.N, cfg.Addrs[p], cfg.Faults, parts, &t.epoch, opt, wm, logf)
 		t.rs[p] = &recvState{next: 1, buf: map[uint64]wire.Msg{}}
 	}
 	t.wg.Add(1)
@@ -114,12 +140,53 @@ func NewTransport(cfg TransportConfig) (*Transport, error) {
 	return t, nil
 }
 
-// Send reliably delivers m to peer `to`.
-func (t *Transport) Send(to int, m wire.Msg) {
+// Send reliably delivers m to peer `to`. An out-of-mesh peer id is a
+// controller bug, but one that must not take the node down mid-run: it
+// is logged, counted in predctl_send_invalid_peer_total, and returned
+// as an error the caller may inspect or ignore.
+func (t *Transport) Send(to int, m wire.Msg) error {
 	if to == t.id || to < 0 || to >= t.n {
-		panic(fmt.Sprintf("node: send to invalid peer %d from %d", to, t.id))
+		t.badPeer.Inc()
+		err := fmt.Errorf("node: send to invalid peer %d from %d (n=%d)", to, t.id, t.n)
+		t.logf("node %d: %v", t.id, err)
+		return err
 	}
 	t.links[to].Send(m)
+	return nil
+}
+
+// Epoch is the transport's current re-execution epoch.
+func (t *Transport) Epoch() uint32 { return t.epoch.Load() }
+
+// Reset moves the mesh to re-execution epoch e (paper §8 controlled
+// re-execution after a crash): in-flight traffic from the abandoned
+// execution is discarded, sequence spaces restart on both halves, and
+// live connections are torn down so both sides re-handshake carrying
+// the new epoch. Deliveries already queued on RecvCh keep their old
+// Epoch tag; the consumer drops them.
+func (t *Transport) Reset(e uint32) {
+	t.epoch.Store(e)
+	// Close inbound streams first: a stale peer writing into an old
+	// connection must fail fast and redial with its (eventually bumped)
+	// epoch rather than feed the old execution's frames to deliver.
+	t.connMu.Lock()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.connMu.Unlock()
+	for p, rs := range t.rs {
+		if rs == nil {
+			continue
+		}
+		rs.mu.Lock()
+		rs.next = 1
+		rs.epoch = e
+		for k := range rs.buf {
+			delete(rs.buf, k)
+		}
+		rs.mu.Unlock()
+		t.links[p].reset(e)
+	}
 }
 
 // RecvCh is the stream of delivered protocol messages, exactly-once
@@ -177,10 +244,13 @@ func (t *Transport) acceptLoop(opt Timeouts) {
 
 // handleConn serves one inbound stream: handshake, then demultiplex
 // frames until the peer goes away (it will reconnect and the persistent
-// per-peer recvState keeps dedup working across connections).
+// per-peer recvState keeps dedup working across connections). The
+// stream is pinned to the epoch it handshook at; after a Reset, the
+// per-frame epoch check inside deliver drops anything still in flight
+// and the connection is closed by Reset itself.
 func (t *Transport) handleConn(conn net.Conn, opt Timeouts) {
 	br := bufReader(conn)
-	from, err := t.handshake(br, conn, opt)
+	from, epoch, err := t.handshake(br, conn, opt)
 	if err != nil {
 		t.logf("node %d: inbound handshake: %v", t.id, err)
 		return
@@ -204,39 +274,61 @@ func (t *Transport) handleConn(conn net.Conn, opt Timeouts) {
 		}
 		switch v := m.(type) {
 		case wire.LinkAck:
-			t.links[from].onAck(v.Cum)
+			t.links[from].onAck(v.Cum, epoch)
 		default:
-			t.deliver(from, seq, m)
+			t.deliver(from, epoch, seq, m)
 		}
 	}
 }
 
-func (t *Transport) handshake(br *bufio.Reader, conn net.Conn, opt Timeouts) (int, error) {
+// handshake validates an inbound stream's opening frame: Hello opens an
+// epoch-0 stream (the common case, and what pre-epoch peers send);
+// Resume opens a stream at an explicit epoch. The epoch must match this
+// transport's current one exactly — a peer still executing a discarded
+// epoch, or one that restarted ahead of us, is rejected and will redial
+// once the Restart broadcast brings both sides level.
+func (t *Transport) handshake(br *bufio.Reader, conn net.Conn, opt Timeouts) (int, uint32, error) {
 	conn.SetReadDeadline(time.Now().Add(opt.DialTimeout))
 	_, m, err := wire.ReadFrame(br)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	h, ok := m.(wire.Hello)
-	if !ok {
-		return 0, fmt.Errorf("first frame is %T, want Hello", m)
+	var from, n int32
+	var epoch uint32
+	switch h := m.(type) {
+	case wire.Hello:
+		from, n = h.From, h.N
+	case wire.Resume:
+		from, n, epoch = h.From, h.N, h.Epoch
+	default:
+		return 0, 0, fmt.Errorf("first frame is %T, want Hello or Resume", m)
 	}
-	if int(h.N) != t.n {
-		return 0, fmt.Errorf("peer believes cluster size %d, ours is %d", h.N, t.n)
+	if int(n) != t.n {
+		return 0, 0, fmt.Errorf("peer believes cluster size %d, ours is %d", n, t.n)
 	}
-	if h.From < 0 || int(h.From) >= t.n || int(h.From) == t.id {
-		return 0, fmt.Errorf("invalid peer id %d", h.From)
+	if from < 0 || int(from) >= t.n || int(from) == t.id {
+		return 0, 0, fmt.Errorf("invalid peer id %d", from)
 	}
-	return int(h.From), nil
+	if cur := t.epoch.Load(); epoch != cur {
+		return 0, 0, fmt.Errorf("peer %d at epoch %d, ours is %d", from, epoch, cur)
+	}
+	return int(from), epoch, nil
 }
 
 // deliver runs the receive half of the reliable link: acknowledge,
 // deduplicate, reorder, and hand frames to the protocol in sequence
-// order.
-func (t *Transport) deliver(from int, seq uint64, m wire.Msg) {
+// order. epoch is the connection's handshake epoch; a frame from a
+// stream older than the recvState's epoch is dropped unacknowledged
+// (the check shares rs.mu with Reset, so the race between a stale
+// in-flight frame and an epoch bump resolves safely either way).
+func (t *Transport) deliver(from int, epoch uint32, seq uint64, m wire.Msg) {
 	rs := t.rs[from]
 	var ready []wire.Msg
 	rs.mu.Lock()
+	if epoch != rs.epoch {
+		rs.mu.Unlock()
+		return
+	}
 	switch {
 	case seq < rs.next:
 		// Duplicate of an already-delivered frame (shim dup, retransmit
@@ -261,10 +353,10 @@ func (t *Transport) deliver(from int, seq uint64, m wire.Msg) {
 	}
 	cum := rs.next - 1
 	rs.mu.Unlock()
-	t.links[from].Ack(cum)
+	t.links[from].Ack(cum, epoch)
 	for _, rm := range ready {
 		select {
-		case t.recvCh <- Recv{From: from, Msg: rm}:
+		case t.recvCh <- Recv{From: from, Epoch: epoch, Msg: rm}:
 		case <-t.done:
 			return
 		}

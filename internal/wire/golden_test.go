@@ -59,6 +59,11 @@ var goldenFrames = []struct {
 		{Proc: 2, LoIdx: 4, HiIdx: 6, Lo: []int32{2, 1, 0}, Hi: []int32{4, 2, 1}},
 		{Proc: 0, LoIdx: 1, HiIdx: 1, Lo: []int32{1, 0, 0}, Hi: []int32{1, 0, 0}},
 	}}},
+	{"13_resume", 16, Resume{From: 5, N: 64, Epoch: 3}},
+	{"14_resumeack", 0, ResumeAck{Cum: 1 << 33, Epoch: 7}},
+	{"15_restart", 0, Restart{Epoch: 4}},
+	{"16_epochmark", 17, EpochMark{Epoch: 4}},
+	{"17_commit", 0, Commit{}},
 }
 
 func goldenPath(name string) string {
@@ -101,7 +106,7 @@ func TestGoldenFrames(t *testing.T) {
 	for _, g := range goldenFrames {
 		kinds[g.msg.wireKind()] = true
 	}
-	for k := kindHello; k <= kindCandidateBatch; k++ {
+	for k := kindHello; k <= kindCommit; k++ {
 		if !kinds[k] {
 			t.Errorf("frame kind %d has no golden fixture", k)
 		}

@@ -46,7 +46,8 @@ const maxVC = 1 << 16
 
 // Msg is one decoded protocol message. The set is closed (sealed by the
 // unexported method): Hello, LinkAck, Ctl, App, Candidate, JournalEvent,
-// Trace, Done, Shutdown, JournalBatch, TraceOpBatch, CandidateBatch.
+// Trace, Done, Shutdown, JournalBatch, TraceOpBatch, CandidateBatch,
+// Resume, ResumeAck, Restart, EpochMark, Commit.
 type Msg interface{ wireKind() byte }
 
 // Frame kinds (the body's second byte).
@@ -63,6 +64,11 @@ const (
 	kindJournalBatch
 	kindTraceOpBatch
 	kindCandidateBatch
+	kindResume
+	kindResumeAck
+	kindRestart
+	kindEpochMark
+	kindCommit
 )
 
 // CtlKind is a controller-to-controller handoff message kind, mirroring
@@ -220,8 +226,63 @@ type Done struct {
 	Responses   []int64 // per-request grant latency, nanoseconds
 }
 
-// Shutdown is the coordinator's stop signal to a node.
-type Shutdown struct{}
+// Shutdown is the coordinator's stop signal to a node — and, echoed
+// back with the node's epoch, the node's bye. Epoch tags which
+// execution the signal belongs to: a Shutdown raced by a controlled
+// re-execution restart is stale and must be ignored, not obeyed. It is
+// an optional trailing field (omitted when zero) so epoch-0 frames
+// stay byte-identical to the committed v1 fixtures.
+type Shutdown struct {
+	Epoch uint32
+}
+
+// Commit is the coordinator's final word: every node's bye for the
+// final epoch is in, the run's capture is sealed, and no further
+// restart can void it. Until a node sees Commit it stays resident
+// after its bye — a crash elsewhere in the cluster can still trigger
+// a controlled re-execution that needs this node back.
+type Commit struct{}
+
+// Resume is the session-resume handshake. It replaces Hello on any
+// connection that continues an existing session rather than opening a
+// fresh one: a node redialing the coordinator after a stream break or a
+// healed partition, and every mesh link dial at epoch > 0 (so peers can
+// tell a current-epoch stream from a stale one). Epoch is the sender's
+// current re-execution epoch (§8 controlled re-execution: a crash
+// anywhere restarts the run at epoch+1).
+type Resume struct {
+	From  int32
+	N     int32
+	Epoch uint32
+}
+
+// ResumeAck answers a Resume on the coordinator stream: Cum is the
+// highest contiguous capture-stream sequence number the coordinator
+// holds for the resuming node (the node retransmits everything after
+// it), and Epoch is the cluster's current re-execution epoch, so a node
+// that missed a Restart broadcast while disconnected catches up at the
+// handshake.
+type ResumeAck struct {
+	Cum   uint64
+	Epoch uint32
+}
+
+// Restart is the coordinator's controlled re-execution order: abort the
+// current execution, reset protocol and capture state, and re-run the
+// workload at Epoch. Broadcast when a crashed node rejoins; the paper's
+// §8 recovery path — the debugged computation is re-executed under
+// control rather than patched around the crash.
+type Restart struct {
+	Epoch uint32
+}
+
+// EpochMark is a node's in-stream epoch boundary on the coordinator
+// capture stream: every capture frame after it belongs to Epoch, and
+// the coordinator discards the node's staging from earlier epochs (the
+// partial, pre-crash execution the restart superseded).
+type EpochMark struct {
+	Epoch uint32
+}
 
 func (Hello) wireKind() byte          { return kindHello }
 func (LinkAck) wireKind() byte        { return kindLinkAck }
@@ -235,6 +296,11 @@ func (Shutdown) wireKind() byte       { return kindShutdown }
 func (JournalBatch) wireKind() byte   { return kindJournalBatch }
 func (TraceOpBatch) wireKind() byte   { return kindTraceOpBatch }
 func (CandidateBatch) wireKind() byte { return kindCandidateBatch }
+func (Resume) wireKind() byte         { return kindResume }
+func (ResumeAck) wireKind() byte      { return kindResumeAck }
+func (Restart) wireKind() byte        { return kindRestart }
+func (EpochMark) wireKind() byte      { return kindEpochMark }
+func (Commit) wireKind() byte         { return kindCommit }
 
 // --- encoding ---
 
@@ -361,6 +427,21 @@ func AppendBody(dst []byte, seq uint64, m Msg) []byte {
 			dst = appendVarint(dst, r)
 		}
 	case Shutdown:
+		if v.Epoch != 0 {
+			dst = appendUvarint(dst, uint64(v.Epoch))
+		}
+	case Commit:
+	case Resume:
+		dst = appendVarint(dst, int64(v.From))
+		dst = appendVarint(dst, int64(v.N))
+		dst = appendUvarint(dst, uint64(v.Epoch))
+	case ResumeAck:
+		dst = appendUvarint(dst, v.Cum)
+		dst = appendUvarint(dst, uint64(v.Epoch))
+	case Restart:
+		dst = appendUvarint(dst, uint64(v.Epoch))
+	case EpochMark:
+		dst = appendUvarint(dst, uint64(v.Epoch))
 	default:
 		panic(fmt.Sprintf("wire: unknown message type %T", m))
 	}
@@ -626,7 +707,21 @@ func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
 		}
 		m = v
 	case kindShutdown:
-		m = Shutdown{}
+		v := Shutdown{}
+		if d.off < len(d.b) {
+			v.Epoch = uint32(d.uvarint())
+		}
+		m = v
+	case kindCommit:
+		m = Commit{}
+	case kindResume:
+		m = Resume{From: d.i32(), N: d.i32(), Epoch: uint32(d.uvarint())}
+	case kindResumeAck:
+		m = ResumeAck{Cum: d.uvarint(), Epoch: uint32(d.uvarint())}
+	case kindRestart:
+		m = Restart{Epoch: uint32(d.uvarint())}
+	case kindEpochMark:
+		m = EpochMark{Epoch: uint32(d.uvarint())}
 	default:
 		if d.err == nil {
 			d.err = fmt.Errorf("wire: unknown frame kind %d", kind)

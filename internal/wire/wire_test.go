@@ -33,6 +33,8 @@ func sampleMsgs() []Msg {
 		Done{Proc: 4, Requests: 10, Handoffs: 3, CtlMessages: 6, Responses: []int64{0, 1500, 2_000_000}},
 		Done{Proc: 0},
 		Shutdown{},
+		Shutdown{Epoch: 9},
+		Commit{},
 		JournalBatch{},
 		JournalBatch{Events: []JournalEvent{
 			{At: 1, Proc: 2, Kind: 7, Name: "ctl.req", A: 3, C: 9, VC: []int32{1, 0}},
@@ -52,6 +54,12 @@ func sampleMsgs() []Msg {
 			{Proc: 1, LoIdx: 2, HiIdx: 4, Lo: []int32{1, 0}, Hi: []int32{3, 2}},
 			{Proc: 0, LoIdx: 0, HiIdx: 0},
 		}},
+		Resume{From: 2, N: 8, Epoch: 0},
+		Resume{From: 0, N: 128, Epoch: 41},
+		ResumeAck{},
+		ResumeAck{Cum: 1<<50 + 3, Epoch: 9},
+		Restart{Epoch: 1},
+		EpochMark{Epoch: 12},
 	}
 }
 
