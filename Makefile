@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke
+.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke bench-slice slice-smoke
 
 all: check
 
@@ -66,3 +66,17 @@ bench-chaos:
 chaos-smoke:
 	$(GO) run ./cmd/pcbench -chaos /tmp/chaos_smoke.json \
 		-chaos-duration 2s -chaos-n 4 -chaos-crashes 4 -chaos-partitions 2
+
+# Regenerate the committed computation-slicing baseline: slice-based
+# violation enumeration vs the exhaustive lattice walk, ns/op and states
+# explored at 1/2/4 workers, with the slice's answer cross-validated
+# against the exhaustive oracle on every enumerable workload (see
+# internal/expt/slice.go).
+bench-slice:
+	$(GO) run ./cmd/pcbench -slice BENCH_slice.json
+
+# CI gate for the sliced dispatcher: seeded traces, slice vs exhaustive
+# violation sets must match exactly and the slice must explore strictly
+# fewer states. Seconds, not minutes.
+slice-smoke:
+	$(GO) run ./cmd/pcbench -slice-smoke

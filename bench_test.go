@@ -287,7 +287,21 @@ func BenchmarkE10DefinitelyPar(b *testing.B) {
 func BenchmarkE10ViolationsPar(b *testing.B) {
 	b.ReportAllocs()
 	// Small lattice (33³ cuts); Cutoff 1 so the level-synchronous search
-	// still shards at whatever GOMAXPROCS the -cpu flag sets.
+	// still shards at whatever GOMAXPROCS the -cpu flag sets. Pinned to
+	// the exhaustive engine: AllViolationsPar itself now dispatches
+	// disjunctive queries to the slice (benchmarked below).
+	d, dj := e2Workload(3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		detect.AllViolationsExhaustivePar(d, dj, detect.Par{Cutoff: 1})
+	}
+}
+
+func BenchmarkE10ViolationsSliced(b *testing.B) {
+	b.ReportAllocs()
+	// Same workload through the dispatcher: ¬(∨ lp) is regular, so the
+	// violations come from the computation slice instead of the lattice
+	// walk — the states-explored gap is the whole point (BENCH_slice.json).
 	d, dj := e2Workload(3, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -16,6 +16,11 @@
 //	                                       # invariants green. -chaos-n / -chaos-duration /
 //	                                       # -chaos-crashes / -chaos-partitions scale it
 //	                                       # (the CI smoke job runs a seconds-long slice)
+//	pcbench -slice BENCH_slice.json        # record the computation-slicing sweep:
+//	                                       # slice vs exhaustive violation enumeration,
+//	                                       # ns/op and states explored at 1/2/4 workers
+//	pcbench -slice-smoke                   # slice-vs-exhaustive cross-validation on
+//	                                       # seeded traces; exits 1 on any mismatch
 //	pcbench -membaseline X -pre OLD.json   # ... embedding OLD as the pre-change rows
 //	pcbench -compare BENCH_memory.json     # diff a fresh sweep against the file;
 //	                                       # exits 1 on allocs/op or ns/op regression
@@ -67,6 +72,8 @@ func main() {
 	chaosParts := flag.Int("chaos-partitions", 12, "chaos soak: minimum partition-window count")
 	pre := flag.String("pre", "", "with -membaseline: embed this earlier sweep as the pre-change rows and record reductions")
 	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
+	sliceOut := flag.String("slice", "", "write the computation-slicing sweep (slice vs exhaustive detection) as JSON to this file and exit")
+	sliceSmoke := flag.Bool("slice-smoke", false, "cross-validate sliced detection against the exhaustive oracle on seeded traces; exit 1 on any mismatch")
 	metrics := flag.Bool("metrics", false, "run the instrumented protocol sweep and dump its metrics in Prometheus text format")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -105,6 +112,25 @@ func main() {
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
 			fatal(err)
 		}
+		return
+	}
+	if *sliceSmoke {
+		verdict, err := expt.SliceSmoke(*seed)
+		if err != nil {
+			fatal(fmt.Errorf("slice smoke: %w", err))
+		}
+		fmt.Println(verdict)
+		return
+	}
+	if *sliceOut != "" {
+		doc, err := expt.SliceBaselineJSON(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*sliceOut, doc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *sliceOut)
 		return
 	}
 	if *baseline != "" {

@@ -8,8 +8,12 @@
 //     global sequence pass through a state satisfying ∧qᵢ? This is the
 //     interval-overlap condition of the paper's Lemma 2, and with
 //     qᵢ = ¬lᵢ it decides infeasibility of disjunctive control.
-//   - PossiblyGeneral / SGSD: exhaustive searches for general predicates
-//     (exponential — Lemma 1 shows SGSD is NP-complete).
+//   - PossiblyGeneral / AllViolations / SGSD: general predicates. Those
+//     in the regular fragment (predicate.IsRegular) dispatch to the
+//     computation slice (internal/slice) and run in polynomial time; the
+//     rest fall back to exhaustive lattice search (exponential — Lemma 1
+//     shows SGSD is NP-complete), which also serves as the
+//     cross-validation oracle (*Exhaustive variants in sliced.go).
 package detect
 
 import (
@@ -65,43 +69,46 @@ func DefinitelyConjunctive(d *deposet.Deposet, cj *predicate.Conjunction) ([]dep
 }
 
 // PossiblyGeneral reports whether some consistent global state satisfies
-// an arbitrary predicate, by enumerating the lattice (exponential in n;
-// for conjunctive predicates prefer PossiblyConjunctive).
+// an arbitrary predicate. Predicates in the regular fragment factor into
+// a per-process truth table (predicate.RegularTable) and run the
+// Garg–Waldecker fixpoint — polynomial, and the witness it finds is the
+// satisfying set's unique least cut, the same cut the exhaustive
+// breadth-first walk reports first. Everything else enumerates the
+// lattice (exponential in n; see PossiblyGeneralExhaustive).
 func PossiblyGeneral(d *deposet.Deposet, b predicate.Expr) (deposet.Cut, bool) {
-	var witness deposet.Cut
-	d.ForEachConsistentCut(func(g deposet.Cut) bool {
-		if b.Eval(d, g) {
-			witness = g.Clone()
-			return false
-		}
-		return true
-	})
-	return witness, witness != nil
+	if tab, ok := predicate.RegularTable(b, d); ok {
+		return PossiblyTruth(d, tab.Holds)
+	}
+	return PossiblyGeneralExhaustive(d, b)
 }
 
 // DefinitelyGeneral reports whether every interleaving of d passes
-// through a state satisfying an arbitrary predicate b, by exhaustive
-// search for an avoiding interleaving (¬SGSD(¬b); exponential — for
-// conjunctive predicates prefer DefinitelyConjunctive).
+// through a state satisfying an arbitrary predicate b — equivalently,
+// whether no single-step sequence through ¬b-cuts crosses the lattice.
+// When ¬b is regular the question is answered on its slice in polynomial
+// time (slice.SingleStepChain); otherwise by exhaustive search for an
+// avoiding interleaving (¬SGSD(¬b); exponential — for conjunctive
+// predicates prefer DefinitelyConjunctive).
 func DefinitelyGeneral(d *deposet.Deposet, b predicate.Expr) bool {
-	_, avoidable := SGSD(d, predicate.Not(b), false)
-	return !avoidable
+	if sl, ok := violationSlice(d, b); ok {
+		if _, avoidable, decided := sl.SingleStepChain(); decided {
+			return !avoidable
+		}
+	}
+	return DefinitelyGeneralExhaustive(d, b)
 }
 
 // AllViolations returns every consistent global state where b is false —
 // the debugging view "where can the bug occur?" (paper §7 finds the cuts
-// G and H this way). Exponential; intended for small traces under study.
-// The predicate is compiled to packed per-state truth bits up front
-// (one LocalFn call per state), so the per-cut evaluations — typically
-// far more numerous than states — are bit tests.
+// G and H this way). When ¬b is in the regular fragment the violations
+// are exactly the cuts of ¬b's slice, enumerated without touching the
+// rest of the lattice and returned in (depth, lexicographic) order;
+// otherwise the full lattice is walked (exponential; see
+// AllViolationsExhaustive), with the predicate compiled to packed
+// per-state truth bits up front so per-cut evaluations are bit tests.
 func AllViolations(d *deposet.Deposet, b predicate.Expr) []deposet.Cut {
-	b = predicate.Compile(b, d)
-	var out []deposet.Cut
-	d.ForEachConsistentCut(func(g deposet.Cut) bool {
-		if !b.Eval(d, g) {
-			out = append(out, g.Clone())
-		}
-		return true
-	})
-	return out
+	if sl, ok := violationSlice(d, b); ok {
+		return sl.Cuts(1)
+	}
+	return AllViolationsExhaustive(d, b)
 }

@@ -242,7 +242,24 @@ func TruthIntervalsInto(dst [][]deposet.Interval, v deposet.View, opts Par, hold
 	})
 }
 
-// AllViolationsPar is AllViolations with the lattice enumeration
+// AllViolationsPar is AllViolations across workers. When ¬b is regular
+// the violations are the cuts of ¬b's slice, and the workers enumerate
+// disjoint segments of the slice's ideal forest (slice.Cuts) — no
+// visited maps, no level barriers, no cross-worker merge until the final
+// sort, so the multi-worker path carries none of the synchronization
+// overhead of the exhaustive walk. Non-regular predicates run the
+// level-synchronized exhaustive walk (AllViolationsExhaustivePar). Both
+// paths return (depth, lexicographic) order at any worker count above
+// one; at one worker the non-regular path keeps the sequential
+// enumerator's BFS discovery order.
+func AllViolationsPar(d *deposet.Deposet, b predicate.Expr, opts Par) []deposet.Cut {
+	if sl, ok := violationSlice(d, b); ok {
+		return sl.Cuts(opts.resolve(d.NumStates()))
+	}
+	return AllViolationsExhaustivePar(d, b, opts)
+}
+
+// AllViolationsExhaustivePar is the lattice enumeration
 // level-synchronized and sharded across workers: the consistent cuts at
 // lattice depth ℓ (sum of frontier indices) all have depth-(ℓ+1)
 // successors, so each level's consistency checks and predicate
@@ -251,13 +268,22 @@ func TruthIntervalsInto(dst [][]deposet.Interval, v deposet.View, opts Par, hold
 // (depth, lexicographic) order — a fixed order, though not the BFS
 // discovery order the sequential enumerator happens to produce. The
 // predicate is compiled to packed per-state truth bits first, so the
-// per-cut evaluations inside the shards never call a LocalFn.
-func AllViolationsPar(d *deposet.Deposet, b predicate.Expr, opts Par) []deposet.Cut {
+// per-cut evaluations inside the shards never call a LocalFn. It is the
+// cross-validation oracle and forced-baseline for the sliced path.
+func AllViolationsExhaustivePar(d *deposet.Deposet, b predicate.Expr, opts Par) []deposet.Cut {
 	workers := opts.resolve(d.NumStates())
 	if workers == 1 {
-		return AllViolations(d, b)
+		return AllViolationsExhaustive(d, b)
 	}
 	b = predicate.Compile(b, d)
+	return allViolationsLevelSync(d, b, opts, nil)
+}
+
+// allViolationsLevelSync is the sharded level-synchronous walk shared by
+// AllViolationsExhaustivePar and AllViolationsWithStats; b must already
+// be compiled. stats, when non-nil, accumulates the cuts visited.
+func allViolationsLevelSync(d *deposet.Deposet, b predicate.Expr, opts Par, stats *EnumStats) []deposet.Cut {
+	workers := opts.resolve(d.NumStates())
 	n := d.NumProcs()
 	loop := par.NewLoop(workers, workers)
 	defer loop.Close()
@@ -269,6 +295,9 @@ func AllViolationsPar(d *deposet.Deposet, b predicate.Expr, opts Par) []deposet.
 	}
 	results := make([]shardResult, loop.Workers())
 	for len(level) > 0 {
+		if stats != nil {
+			stats.StatesExplored += len(level)
+		}
 		loop.Round(len(level), func(w, lo, hi int) {
 			res := shardResult{next: make(map[string]deposet.Cut)}
 			for x := lo; x < hi; x++ {

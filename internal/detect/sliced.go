@@ -1,0 +1,101 @@
+package detect
+
+import (
+	"predctl/internal/deposet"
+	"predctl/internal/predicate"
+	"predctl/internal/slice"
+)
+
+// This file is the slicing dispatch layer: detection entry points taking
+// a general predicate.Expr first try to factor it (or its negation) into
+// the regular fragment (predicate.RegularTable) and run on the
+// computation slice — polynomial in the trace — keeping the exhaustive
+// lattice walk as the fallback for non-regular predicates and as the
+// cross-validation oracle (the *Exhaustive variants).
+
+// EnumStats reports how a violation enumeration ran: whether the regular
+// fragment admitted slicing, and how much of the cut space was touched.
+type EnumStats struct {
+	// Sliced is true when the predicate (negated, for violation queries)
+	// was in the regular fragment and detection ran on the slice.
+	Sliced bool
+	// MetaEvents is the number of join-irreducible meta-events of the
+	// slice (0 on the exhaustive path).
+	MetaEvents int
+	// StatesExplored counts the consistent cuts the enumeration visited:
+	// the slice's cuts — all of which are answers — on the sliced path,
+	// the entire lattice on the exhaustive path.
+	StatesExplored int
+}
+
+// violationSlice factors ¬b and computes its slice: the slice's cuts are
+// exactly the violations of b.
+func violationSlice(d *deposet.Deposet, b predicate.Expr) (*slice.Slice, bool) {
+	tab, ok := predicate.RegularTable(predicate.Not(b), d)
+	if !ok {
+		return nil, false
+	}
+	return slice.Compute(d, tab), true
+}
+
+// AllViolationsWithStats is AllViolationsPar, also reporting whether the
+// enumeration ran on the slice and how many states it explored.
+func AllViolationsWithStats(d *deposet.Deposet, b predicate.Expr, opts Par) ([]deposet.Cut, EnumStats) {
+	if sl, ok := violationSlice(d, b); ok {
+		cuts := sl.Cuts(opts.resolve(d.NumStates()))
+		return cuts, EnumStats{Sliced: true, MetaEvents: sl.Stats().MetaEvents, StatesExplored: len(cuts)}
+	}
+	var stats EnumStats
+	b = predicate.Compile(b, d)
+	var out []deposet.Cut
+	workers := opts.resolve(d.NumStates())
+	if workers == 1 {
+		d.ForEachConsistentCut(func(g deposet.Cut) bool {
+			stats.StatesExplored++
+			if !b.Eval(d, g) {
+				out = append(out, g.Clone())
+			}
+			return true
+		})
+		return out, stats
+	}
+	out = allViolationsLevelSync(d, b, opts, &stats)
+	return out, stats
+}
+
+// AllViolationsExhaustive enumerates the full lattice regardless of the
+// predicate's fragment — the cross-validation oracle for the sliced path
+// (and the only route for non-regular predicates). BFS discovery order.
+func AllViolationsExhaustive(d *deposet.Deposet, b predicate.Expr) []deposet.Cut {
+	b = predicate.Compile(b, d)
+	var out []deposet.Cut
+	d.ForEachConsistentCut(func(g deposet.Cut) bool {
+		if !b.Eval(d, g) {
+			out = append(out, g.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// PossiblyGeneralExhaustive is the lattice-walk oracle for
+// PossiblyGeneral: first satisfying cut in BFS order.
+func PossiblyGeneralExhaustive(d *deposet.Deposet, b predicate.Expr) (deposet.Cut, bool) {
+	b = predicate.Compile(b, d)
+	var witness deposet.Cut
+	d.ForEachConsistentCut(func(g deposet.Cut) bool {
+		if b.Eval(d, g) {
+			witness = g.Clone()
+			return false
+		}
+		return true
+	})
+	return witness, witness != nil
+}
+
+// DefinitelyGeneralExhaustive is the SGSD-search oracle for
+// DefinitelyGeneral.
+func DefinitelyGeneralExhaustive(d *deposet.Deposet, b predicate.Expr) bool {
+	_, avoidable := SGSD(d, predicate.Not(b), false)
+	return !avoidable
+}

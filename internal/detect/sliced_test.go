@@ -1,0 +1,214 @@
+package detect
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"predctl/internal/deposet"
+	"predctl/internal/predicate"
+)
+
+// xorExpr builds a two-process XOR — the canonical non-regular predicate
+// (neither it nor its negation factors per-process): its satisfying cut
+// set is not closed under componentwise min/max.
+func xorExpr(x, y predicate.Expr) predicate.Expr {
+	return predicate.Or(
+		predicate.And(x, predicate.Not(y)),
+		predicate.And(predicate.Not(x), y),
+	)
+}
+
+func sortCutsByKey(cuts []deposet.Cut) []string {
+	keys := make([]string, len(cuts))
+	for i, g := range cuts {
+		keys[i] = g.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func equalKeySets(a, b []deposet.Cut) bool {
+	ka, kb := sortCutsByKey(a), sortCutsByKey(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property (slicing cross-validation): for random small traces and
+// regular predicates, the sliced dispatcher's answers equal the
+// exhaustive lattice walk's — exact violation-set equality for
+// AllViolations at every worker count, and identical Possibly verdict
+// and witness.
+func TestSlicedMatchesExhaustiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(4), r.Intn(14)))
+		dj := predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.3+0.5*r.Float64()))
+		b := dj.Expr() // ¬b regular → violations of b are sliceable
+
+		want := AllViolationsExhaustive(d, b)
+		got, stats := AllViolationsWithStats(d, b, forcePar(1))
+		if !stats.Sliced {
+			t.Logf("seed %d: ¬disjunction did not slice", seed)
+			return false
+		}
+		if !equalKeySets(got, want) {
+			t.Logf("seed %d: sliced %d violations, exhaustive %d", seed, len(got), len(want))
+			return false
+		}
+		// Worker counts must agree byte-for-byte.
+		for _, w := range []int{2, 4} {
+			par := AllViolationsPar(d, b, forcePar(w))
+			if len(par) != len(got) {
+				return false
+			}
+			for i := range par {
+				if !par[i].Equal(got[i]) {
+					t.Logf("seed %d: workers=%d output diverges at %d", seed, w, i)
+					return false
+				}
+			}
+		}
+		// The slice explores only its own cuts — never more than the
+		// lattice the oracle walked.
+		if lattice := d.CountConsistentCuts(); stats.StatesExplored > lattice {
+			t.Logf("seed %d: explored %d > lattice %d", seed, stats.StatesExplored, lattice)
+			return false
+		}
+
+		// Possibly on the regular side: same verdict, same (least) witness.
+		e := predicate.Not(b)
+		wantCut, wantOK := PossiblyGeneralExhaustive(d, e)
+		gotCut, gotOK := PossiblyGeneral(d, e)
+		if gotOK != wantOK || (wantOK && !gotCut.Equal(wantCut)) {
+			t.Logf("seed %d: possibly %v,%v want %v,%v", seed, gotCut, gotOK, wantCut, wantOK)
+			return false
+		}
+		// Definitely: slice single-step chain vs SGSD search.
+		if DefinitelyGeneral(d, e) != DefinitelyGeneralExhaustive(d, e) {
+			t.Logf("seed %d: definitely disagrees", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression fixture: a non-regular predicate must refuse the slice path
+// and fall back to the exhaustive walk — same answers, Sliced=false.
+func TestNonRegularFallsBackExhaustive(t *testing.T) {
+	d := line(t, 3, 3)
+	b := xorExpr(predicate.LocalAfter(0, 1), predicate.LocalAfter(1, 1))
+	if predicate.IsRegular(b) || predicate.IsRegular(predicate.Not(b)) {
+		t.Fatal("fixture must be non-regular in both polarities")
+	}
+	got, stats := AllViolationsWithStats(d, b, forcePar(1))
+	if stats.Sliced {
+		t.Fatal("non-regular predicate took the slice path")
+	}
+	if stats.MetaEvents != 0 {
+		t.Fatal("exhaustive path reported meta-events")
+	}
+	want := AllViolationsExhaustive(d, b)
+	if len(got) != len(want) {
+		t.Fatalf("fallback found %d violations, oracle %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("fallback order diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if stats.StatesExplored != d.CountConsistentCuts() {
+		t.Fatalf("exhaustive path explored %d of %d lattice cuts",
+			stats.StatesExplored, d.CountConsistentCuts())
+	}
+	// And the parallel entry agrees as a set at any worker count.
+	if !equalKeySets(AllViolationsPar(d, b, forcePar(4)), want) {
+		t.Fatal("parallel fallback disagrees with oracle")
+	}
+	// A regular predicate on the same trace does slice.
+	_, rstats := AllViolationsWithStats(d, predicate.LocalAfter(0, 1), forcePar(1))
+	if !rstats.Sliced || rstats.MetaEvents == 0 {
+		t.Fatalf("regular predicate did not slice: %+v", rstats)
+	}
+}
+
+// Satellite guard: below DefaultParCutoff the default-policy dispatcher
+// must take the sequential path no matter the worker count — identical
+// allocs/op and, for the exhaustive fallback, the sequential BFS output
+// order (the forced level-sync path emits (depth, lex) order instead).
+func TestDefaultPolicySequentialBelowCutoff(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	d := deposet.Random(r, deposet.DefaultGen(3, 60)) // ≈63 states ≪ DefaultParCutoff
+	if d.NumStates() >= DefaultParCutoff {
+		t.Fatal("trace unexpectedly above cutoff")
+	}
+	dj := predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.5))
+	regular := dj.Expr()
+	nonRegular := xorExpr(predicate.LocalAfter(0, 2), predicate.LocalAfter(1, 2))
+
+	for _, tc := range []struct {
+		name string
+		b    predicate.Expr
+	}{{"sliced", regular}, {"exhaustive", nonRegular}} {
+		allocs := func(workers int) float64 {
+			return testing.AllocsPerRun(10, func() {
+				AllViolationsPar(d, tc.b, Par{Workers: workers})
+			})
+		}
+		a1 := allocs(1)
+		for _, w := range []int{2, 4, 8} {
+			if aw := allocs(w); aw != a1 {
+				t.Errorf("%s: allocs/op changed with workers: 1→%.0f, %d→%.0f",
+					tc.name, a1, w, aw)
+			}
+		}
+	}
+
+	// Code-path check for the exhaustive fallback: the sequential walk
+	// emits BFS discovery order, the forced parallel walk (depth, lex)
+	// order. First make sure this trace distinguishes the two...
+	seqOrder := AllViolationsExhaustive(d, nonRegular)
+	parOrder := AllViolationsExhaustivePar(d, nonRegular, forcePar(4))
+	distinguishes := false
+	for i := range seqOrder {
+		if !seqOrder[i].Equal(parOrder[i]) {
+			distinguishes = true
+			break
+		}
+	}
+	if !distinguishes {
+		t.Fatal("fixture cannot distinguish sequential from parallel order; change the seed")
+	}
+	// ...then assert the default policy at 8 workers still walked
+	// sequentially.
+	got := AllViolationsPar(d, nonRegular, Par{Workers: 8})
+	for i := range got {
+		if !got[i].Equal(seqOrder[i]) {
+			t.Fatalf("default policy below cutoff took the parallel path (diverges at %d)", i)
+		}
+	}
+
+	// Same guard for the possibly/definitely scans: worker count must
+	// not change allocs/op below the cutoff.
+	truth := deposet.RandomTruth(r, d, 0.6)
+	holds := func(p, k int) bool { return truth[p][k] }
+	possiblyAllocs := func(workers int) float64 {
+		return testing.AllocsPerRun(10, func() {
+			PossiblyTruthPar(d, holds, Par{Workers: workers})
+		})
+	}
+	if a1, a8 := possiblyAllocs(1), possiblyAllocs(8); a1 != a8 {
+		t.Errorf("possibly: allocs/op changed with workers: 1→%.0f, 8→%.0f", a1, a8)
+	}
+}

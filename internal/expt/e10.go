@@ -246,6 +246,7 @@ func E10(seed int64) *Table {
 			nsString(m.NsPerOp["1"]), nsString(m.NsPerOp["2"]), nsString(m.NsPerOp["4"]),
 			fmt.Sprintf("%.2fx", m.Speedup4))
 	}
+	SliceRows(t, seed)
 	t.Note("host: %d CPU(s), GOMAXPROCS=%d, %s — speedups are bounded by available cores",
 		base.NumCPU, base.GOMAXPROCS, base.GoVersion)
 	t.Note("sequential cross-validation: every parallel path is property-tested")

@@ -5,15 +5,24 @@ import (
 	"predctl/internal/deposet"
 	"predctl/internal/detect"
 	"predctl/internal/predicate"
+	"predctl/internal/slice"
 )
 
 // ControlGeneral solves off-line predicate control for an arbitrary
 // global predicate b, the way the paper's Theorem 1 equivalence suggests:
-// find a satisfying global sequence (SGSD) and emit a control relation
-// that only allows that sequence. SGSD is NP-complete (Lemma 1), and this
-// search is exponential in the worst case — that is the point of the
-// complexity separation reproduced in the benchmarks; use Control for
-// disjunctive predicates.
+// find a satisfying global sequence and emit a control relation that
+// only allows that sequence.
+//
+// When b is in the regular fragment the sequence is found on b's
+// computation slice instead of the raw lattice: a satisfying single-step
+// sequence exists iff the slice spans ⊥ to ⊤ and every meta-event covers
+// its predecessor ideal by exactly one local state, in which case any
+// linear extension of the meta-events *is* the sequence — polynomial,
+// no search (slice.SingleStepChain). Non-regular predicates fall back to
+// the exhaustive SGSD search, which is NP-complete (Lemma 1) and
+// exponential in the worst case — that is the point of the complexity
+// separation reproduced in the benchmarks; use Control for disjunctive
+// predicates.
 //
 // The search uses single-step (interleaving) sequences: added causality
 // cannot force two processes to advance at the same instant, so
@@ -27,6 +36,14 @@ import (
 // implied). Consistent cuts of the controlled computation are then
 // exactly the sequence's cuts, all of which satisfy b.
 func ControlGeneral(d *deposet.Deposet, b predicate.Expr) (control.Relation, deposet.Sequence, error) {
+	if tab, ok := predicate.RegularTable(b, d); ok {
+		if seq, found, decided := slice.Compute(d, tab).SingleStepChain(); decided {
+			if !found {
+				return nil, nil, ErrInfeasible
+			}
+			return EnforceSequence(d, seq), seq, nil
+		}
+	}
 	seq, ok := detect.SGSD(d, b, false)
 	if !ok {
 		return nil, nil, ErrInfeasible

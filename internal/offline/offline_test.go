@@ -436,3 +436,54 @@ func TestControllerYieldsSatisfyingSequence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: ControlGeneral on a regular predicate (slice single-step
+// chain, no search) agrees with the exhaustive SGSD oracle on
+// feasibility, and its enforced computation never violates the
+// predicate.
+func TestControlGeneralRegularMatchesSGSD(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := deposet.Random(r, deposet.DefaultGen(1+r.Intn(3), r.Intn(12)))
+		dj := predicate.DisjunctionFromTruth(deposet.RandomTruth(r, d, 0.4+0.5*r.Float64()))
+		b := predicate.Not(dj.Expr()) // ∧p ¬lp: regular
+		if !predicate.IsRegular(b) {
+			return false
+		}
+
+		rel, seq, err := ControlGeneral(d, b)
+		_, wantOK := detect.SGSD(d, b, false)
+		if (err == nil) != wantOK {
+			t.Logf("seed %d: slice feasibility %v, SGSD %v", seed, err == nil, wantOK)
+			return false
+		}
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if verr := d.ValidateSequence(seq); verr != nil {
+			t.Logf("seed %d: %v", seed, verr)
+			return false
+		}
+		for _, g := range seq {
+			if !b.Eval(d, g) {
+				return false
+			}
+		}
+		x, xerr := control.Extend(d, rel)
+		if xerr != nil {
+			return false
+		}
+		ok := true
+		x.ForEachConsistentCut(func(g deposet.Cut) bool {
+			if !b.Eval(d, g) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
