@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke bench-slice slice-smoke
+.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke bench-slice slice-smoke bench-obs
 
 all: check
 
@@ -66,6 +66,14 @@ bench-chaos:
 chaos-smoke:
 	$(GO) run ./cmd/pcbench -chaos /tmp/chaos_smoke.json \
 		-chaos-duration 2s -chaos-n 4 -chaos-crashes 4 -chaos-partitions 2
+
+# Regenerate the committed live-observability overhead record: the same
+# 32-node loopback cluster with observability dark vs fully lit
+# (MetricsSnapshot frames on the capture stream + coordinator /metrics
+# and /statusz under a continuous polling load); min-wall comparison
+# (see internal/expt/obs.go).
+bench-obs:
+	$(GO) run ./cmd/pcbench -obs BENCH_obs.json
 
 # Regenerate the committed computation-slicing baseline: slice-based
 # violation enumeration vs the exhaustive lattice walk, ns/op and states

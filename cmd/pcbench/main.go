@@ -16,6 +16,11 @@
 //	                                       # invariants green. -chaos-n / -chaos-duration /
 //	                                       # -chaos-crashes / -chaos-partitions scale it
 //	                                       # (the CI smoke job runs a seconds-long slice)
+//	pcbench -obs BENCH_obs.json            # measure live-observability overhead:
+//	                                       # the same loopback cluster with snapshots
+//	                                       # off vs MetricsSnapshot frames + HTTP
+//	                                       # introspection under a polling load.
+//	                                       # -obs-n / -obs-reps scale it
 //	pcbench -slice BENCH_slice.json        # record the computation-slicing sweep:
 //	                                       # slice vs exhaustive violation enumeration,
 //	                                       # ns/op and states explored at 1/2/4 workers
@@ -70,6 +75,9 @@ func main() {
 	chaosDur := flag.Duration("chaos-duration", 60*time.Second, "chaos soak: minimum wall time")
 	chaosCrashes := flag.Int("chaos-crashes", 100, "chaos soak: minimum crash-recovery count")
 	chaosParts := flag.Int("chaos-partitions", 12, "chaos soak: minimum partition-window count")
+	obsOut := flag.String("obs", "", "write the live-observability overhead measurement (snapshots+HTTP on vs off) as JSON to this file and exit")
+	obsN := flag.Int("obs-n", 32, "obs bench: cluster size")
+	obsReps := flag.Int("obs-reps", 8, "obs bench: repetitions per mode (median wall compared)")
 	pre := flag.String("pre", "", "with -membaseline: embed this earlier sweep as the pre-change rows and record reductions")
 	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
 	sliceOut := flag.String("slice", "", "write the computation-slicing sweep (slice vs exhaustive detection) as JSON to this file and exit")
@@ -157,6 +165,17 @@ func main() {
 		}
 		fmt.Printf("chaos soak %s\n", verdict)
 		fmt.Printf("wrote %s\n", *chaos)
+		return
+	}
+	if *obsOut != "" {
+		doc, err := expt.ObsJSON(expt.ObsOptions{Seed: *seed, N: *obsN, Reps: *obsReps})
+		if err != nil {
+			fatal(fmt.Errorf("obs bench: %w", err))
+		}
+		if err := os.WriteFile(*obsOut, doc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *obsOut)
 		return
 	}
 	if *cluster != "" {

@@ -13,7 +13,9 @@
 //	pctl reduce  trace.json
 //	pctl trace   -n 3 -rounds 4 -o run-chrome.json
 //	pctl cluster -n 5 -drop 0.2 -delay 2ms -o run.json -pred-o pred.json
+//	pctl cluster -n 32 -http 127.0.0.1:7070 -trace-o cluster-chrome.json
 //	pctl node    -id 0 -n 3 -addrs :7001,:7002,:7003 -coord host:7000
+//	pctl top     -coord 127.0.0.1:7070 -interval 1s
 //
 // Trace files are the JSON format of predctl's trace package; predicate
 // files describe B = l1 ∨ … ∨ ln over state variables:
@@ -51,7 +53,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pctl <gen|info|detect|control|replay|sgsd|reduce|trace|cluster|node> [flags] [trace.json]")
+		return errors.New("usage: pctl <gen|info|detect|control|replay|sgsd|reduce|trace|cluster|node|top> [flags] [trace.json]")
 	}
 	switch args[0] {
 	case "gen":
@@ -74,6 +76,8 @@ func run(args []string) error {
 		return cmdCluster(args[1:])
 	case "node":
 		return cmdNode(args[1:])
+	case "top":
+		return cmdTop(args[1:])
 	}
 	return fmt.Errorf("unknown command %q", args[0])
 }

@@ -182,6 +182,9 @@ func cmdCluster(args []string) error {
 	predOut := fs.String("pred-o", "", "write the workload's control predicate spec here")
 	metrics := fs.Bool("metrics", false, "dump protocol metrics in Prometheus text format")
 	timeline := fs.Int("timeline", 0, "print the last N merged journal events")
+	httpAddr := fs.String("http", "", "serve live coordinator introspection (/metrics /statusz /healthz, pprof) on this address; `pctl top` reads it")
+	nodeHTTP := fs.Bool("node-http", false, "also serve per-node introspection on ephemeral localhost ports (logged at startup)")
+	traceOut := fs.String("trace-o", "", "write the causally-merged cluster Chrome trace here (chrome://tracing / Perfetto)")
 	faults := faultFlags(fs)
 	batching := batchFlags(fs)
 	var crashes crashFlag
@@ -198,11 +201,15 @@ func cmdCluster(args []string) error {
 	j := obs.NewJournal(0)
 	reg := obs.NewRegistry()
 	faults.Partitions = partitions.parts
+	if *httpAddr != "" {
+		fmt.Printf("introspection at http://%s (watch live: pctl top -coord %s)\n", *httpAddr, *httpAddr)
+	}
 	res, err := node.RunCluster(node.ClusterConfig{
 		N: *n, Rounds: *rounds, Think: *think, CS: *cs,
 		Broadcast: *broadcast, Scapegoat: *scapegoat, Seed: *seed,
 		Faults: *faults, Batching: *batching, Journal: j, Reg: reg,
-		Crashes: crashes.crashes,
+		Crashes:  crashes.crashes,
+		HTTPAddr: *httpAddr, NodeHTTP: *nodeHTTP,
 	})
 	if err != nil {
 		return err
@@ -242,6 +249,16 @@ func cmdCluster(args []string) error {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if *traceOut != "" {
+		doc, err := obs.ClusterTrace(j, obs.ClusterTraceOptions{N: *n})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (merged cluster trace, %d journal events)\n", *traceOut, j.Len())
+	}
 	if *predOut != "" {
 		f, err := os.Create(*predOut)
 		if err != nil {
@@ -274,6 +291,7 @@ func cmdNode(args []string) error {
 	out := fs.String("o", "", "coordinator: write the captured trace here")
 	wait := fs.Duration("wait", 2*time.Minute, "coordinator: how long to wait for the cluster")
 	rejoin := fs.Bool("rejoin", false, "node: this is the relaunch of a crashed daemon — hold execution until the coordinator's restart decision")
+	httpAddr := fs.String("http", "", "serve live introspection (/metrics /statusz /healthz, pprof) on this address")
 	faults := faultFlags(fs)
 	batching := batchFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -288,12 +306,16 @@ func cmdNode(args []string) error {
 		reg := obs.NewRegistry()
 		c, err := node.NewCoordinator(node.CoordConfig{
 			N: *n, Addr: *coord, Journal: j, Reg: reg,
+			HTTPAddr: *httpAddr,
 		})
 		if err != nil {
 			return err
 		}
 		defer c.Close()
 		fmt.Printf("coordinator listening on %s for %d nodes\n", c.Addr(), *n)
+		if u := c.HTTPURL(); u != "" {
+			fmt.Printf("introspection at %s (pctl top -coord %s)\n", u, u)
+		}
 		res, err := c.Wait(*wait)
 		if err != nil {
 			return err
@@ -325,7 +347,7 @@ func cmdNode(args []string) error {
 		Scapegoat: *scapegoat, Broadcast: *broadcast,
 		Rounds: *rounds, Think: *think, CS: *cs,
 		Seed: *seed, Faults: *faults, Batching: *batching,
-		WaitRestart: *rejoin,
+		WaitRestart: *rejoin, HTTPAddr: *httpAddr,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"predctl/internal/node"
+)
+
+func topSample(frames, cands int64) node.CoordStatus {
+	return node.CoordStatus{
+		N: 2, Epoch: 1, Restarts: 1, Done: 1, Byes: 0, UptimeMs: 1500,
+		Nodes: []node.CoordNodeStatus{
+			{Node: 0, Epoch: 1, LagMs: 2.5, Candidates: int(cands),
+				Metrics: map[string]int64{
+					"predctl_wire_frames_total":      frames,
+					"predctl_requests_total":         3,
+					"predctl_handoffs_total":         2,
+					"predctl_wire_retransmits_total": 1,
+				}},
+			{Node: 1, Epoch: 1, LagMs: -1, Done: true, Bye: true,
+				Metrics: map[string]int64{}},
+		},
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	first := renderTop(topSample(100, 4), nil, 0)
+	if !strings.Contains(first, "cluster n=2") || !strings.Contains(first, "restarts=1") {
+		t.Fatalf("header missing from first frame:\n%s", first)
+	}
+	for _, col := range []string{"NODE", "EPOCH", "LAG(ms)", "FR/S", "CA/S", "RETX", "STATE"} {
+		if !strings.Contains(first, col) {
+			t.Fatalf("column %q missing:\n%s", col, first)
+		}
+	}
+	// No previous frame → rate columns degrade to "-"; so does the
+	// lag of the node that never snapshotted.
+	if !strings.Contains(first, "-") {
+		t.Fatalf("expected '-' placeholders on the first frame:\n%s", first)
+	}
+	if !strings.Contains(first, "parked") || !strings.Contains(first, "running") {
+		t.Fatalf("per-node states missing:\n%s", first)
+	}
+
+	prev := topSample(100, 4)
+	cur := topSample(300, 6)
+	second := renderTop(cur, &prev, 2*time.Second)
+	// 200 frames over 2s → 100/s; 2 candidates over 2s → 1.0/s.
+	if !strings.Contains(second, "100") || !strings.Contains(second, "1.0") {
+		t.Fatalf("rates not computed from deltas:\n%s", second)
+	}
+
+	// A counter going backwards (node relaunch) must clamp, not render
+	// a negative rate.
+	reset := topSample(50, 2)
+	third := renderTop(reset, &cur, time.Second)
+	if strings.Contains(third, "-1") || strings.Contains(third, "FR/S  -2") {
+		t.Fatalf("negative rate leaked through a counter reset:\n%s", third)
+	}
+}
+
+// TestTopOnce drives the subcommand end to end against a stub
+// coordinator statusz endpoint.
+func TestTopOnce(t *testing.T) {
+	st := topSample(42, 3)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/statusz" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(st)
+	}))
+	defer srv.Close()
+
+	out, err := runCLI(t, "top", "-once", "-coord", srv.URL)
+	if err != nil {
+		t.Fatalf("top -once: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "cluster n=2") || !strings.Contains(out, "42") {
+		t.Fatalf("dashboard frame missing data:\n%s", out)
+	}
+
+	if _, err := runCLI(t, "top", "-once", "-coord", "127.0.0.1:1"); err == nil {
+		t.Fatal("top against a dead coordinator should fail")
+	}
+}

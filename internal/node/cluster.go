@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -51,6 +52,15 @@ type ClusterConfig struct {
 	// controlled re-execution, so the run still completes with a
 	// fault-free-equivalent trace.
 	Crashes []Crash
+	// HTTPAddr (or HTTPListener) opts into the coordinator's live
+	// introspection server — /metrics, /statusz, /healthz, pprof —
+	// served for the whole run. Harnesses that must know the port
+	// before the run starts bind HTTPListener themselves.
+	HTTPAddr     string
+	HTTPListener net.Listener
+	// NodeHTTP gives every node its own ephemeral introspection server
+	// on 127.0.0.1 (ports are logged via Logf).
+	NodeHTTP bool
 }
 
 // RunCluster executes the anti-token (n−1)-mutex workload on a cluster
@@ -82,10 +92,13 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		listeners[i] = ln
 		addrs[i] = ln.Addr().String()
 	}
+	start := time.Now()
 	coord, err := NewCoordinator(CoordConfig{
 		N: cfg.N, Addr: "127.0.0.1:0",
 		Journal: cfg.Journal, Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
 		Timeouts: cfg.Timeouts, Logf: cfg.Logf,
+		HTTPAddr: cfg.HTTPAddr, HTTPListener: cfg.HTTPListener,
+		Start: start,
 	})
 	if err != nil {
 		for _, l := range listeners {
@@ -95,7 +108,20 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	}
 	defer coord.Close()
 
-	start := time.Now()
+	// Scheduled partitions are known a priori; annotate their windows on
+	// the merged timeline up front so the cluster trace shows them even
+	// if the run ends inside one.
+	for _, p := range cfg.Faults.Partitions {
+		a, b := int64(-1), int64(-1)
+		if len(p.A) > 0 {
+			a = int64(p.A[0])
+		}
+		if len(p.B) > 0 {
+			b = int64(p.B[0])
+		}
+		coord.AnnotateAt(p.Start.Nanoseconds(), obs.EvPartitionOpen, a, b)
+		coord.AnnotateAt((p.Start + p.Dur).Nanoseconds(), obs.EvPartitionHeal, a, b)
+	}
 
 	// Crash plumbing: one buffered signal channel per node (so a kill
 	// never blocks the scheduler) and a stop flag that quiets the
@@ -117,6 +143,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 			defer schedWG.Done()
 			select {
 			case <-time.After(time.Until(start.Add(cr.At))):
+				coord.Annotate(obs.EvChaosCrash, int64(cr.Node), 0)
 				crashCh[cr.Node] <- struct{}{}
 			case <-stop:
 			}
@@ -135,8 +162,15 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 				Rounds: cfg.Rounds, Think: cfg.Think, CS: cfg.CS,
 				Seed: cfg.Seed, Faults: cfg.Faults, Timeouts: cfg.Timeouts,
 				Batching: cfg.Batching, Listener: listeners[i],
-				Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
-				Logf: cfg.Logf, Start: start, Crash: crashCh[i],
+				// Each node writes through a node-labelled child registry:
+				// its snapshots carry per-node series while updates tee to
+				// the shared aggregates callers already read.
+				Reg:          cfg.Reg.Child(obs.L("node", strconv.Itoa(i))),
+				MetricLabels: cfg.MetricLabels,
+				Logf:         cfg.Logf, Start: start, Crash: crashCh[i],
+			}
+			if cfg.NodeHTTP {
+				nodeCfg.HTTPAddr = "127.0.0.1:0"
 			}
 			down := crashDowntime(cfg.Crashes, i)
 			deaths := 0

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -33,6 +34,12 @@ type Batching struct {
 	// the bench baseline and as a debugging aid (per-event frames are
 	// easier to correlate with a packet capture).
 	PerEvent bool
+	// SnapshotEvery emits a wire.MetricsSnapshot (a cumulative dump of
+	// the node's registry) every that-many flusher passes, riding the
+	// existing batching cadence — the coordinator's live merged registry
+	// and `pctl top` feed off it. Default 25 (≈ 50ms at the default 2ms
+	// interval); negative disables snapshot streaming.
+	SnapshotEvery int
 }
 
 func (b Batching) withDefaults() Batching {
@@ -41,6 +48,9 @@ func (b Batching) withDefaults() Batching {
 	}
 	if b.Interval <= 0 {
 		b.Interval = 2 * time.Millisecond
+	}
+	if b.SnapshotEvery == 0 {
+		b.SnapshotEvery = 25
 	}
 	return b
 }
@@ -102,6 +112,12 @@ type coordClient struct {
 	flushing  bool                  // a flusher goroutine is running; flushMu-guarded
 	flushQuit chan struct{}
 	flushDone chan struct{}
+
+	// snap, when non-nil, dumps the node's registry for MetricsSnapshot
+	// streaming. Set once before the flusher starts; start anchors the
+	// snapshots' AtNs timestamps.
+	snap  func() []wire.MetricPoint
+	start time.Time
 }
 
 // dialCoord connects to the coordinator, retrying with capped
@@ -303,6 +319,9 @@ func (cc *coordClient) resume() (net.Conn, *bufio.Reader, error) {
 		}
 		cc.wm.bytes.Add(int64(len(b.B)))
 	}
+	if n := uint64(len(cc.sent)) - cum; n > 0 {
+		cc.wm.retx.Add(int64(n))
+	}
 	cc.conn = conn
 	return conn, br, nil
 }
@@ -461,6 +480,7 @@ func (cc *coordClient) flusher(quit, done chan struct{}) {
 	defer close(done)
 	tick := time.NewTicker(cc.batch.Interval)
 	defer tick.Stop()
+	passes := 0
 	for {
 		select {
 		case <-quit:
@@ -469,7 +489,57 @@ func (cc *coordClient) flusher(quit, done chan struct{}) {
 		case <-tick.C:
 		}
 		cc.flush()
+		passes++
+		if cc.batch.SnapshotEvery > 0 && passes%cc.batch.SnapshotEvery == 0 {
+			cc.sendSnapshot()
+		}
 	}
+}
+
+// sendSnapshot sequences one cumulative metrics dump onto the capture
+// stream. Snapshots ride the session log like every capture frame, so
+// resume replay re-delivers them — harmless, since applying a full
+// cumulative dump is idempotent.
+func (cc *coordClient) sendSnapshot() {
+	if cc.snap == nil {
+		return
+	}
+	pts := cc.snap()
+	if len(pts) == 0 {
+		return
+	}
+	cc.mu.Lock()
+	e := cc.epoch
+	cc.mu.Unlock()
+	cc.sendItems(wire.MetricsSnapshot{
+		Proc: int32(cc.id), Epoch: e,
+		AtNs: time.Since(cc.start).Nanoseconds(), Points: pts,
+	}, 1)
+}
+
+// toWirePoints converts a registry dump to its wire form for a
+// MetricsSnapshot frame.
+func toWirePoints(pts []obs.MetricPoint) []wire.MetricPoint {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]wire.MetricPoint, len(pts))
+	for i, p := range pts {
+		out[i] = wire.MetricPoint{Kind: uint8(p.Kind), Key: p.Key, Value: p.Value}
+	}
+	return out
+}
+
+// toObsPoints is the inverse, at the coordinator's ingest.
+func toObsPoints(pts []wire.MetricPoint) []obs.MetricPoint {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]obs.MetricPoint, len(pts))
+	for i, p := range pts {
+		out[i] = obs.MetricPoint{Kind: obs.MetricKind(p.Kind), Key: p.Key, Value: p.Value}
+	}
+	return out
 }
 
 // stopFlusher ends the flusher goroutine and drains everything still
@@ -490,6 +560,11 @@ func (cc *coordClient) stopFlusher(drain bool) {
 	}
 	if started && drain {
 		cc.flush()
+		if cc.batch.SnapshotEvery > 0 {
+			// A closing snapshot, so even a run shorter than the snapshot
+			// cadence reports final per-node values.
+			cc.sendSnapshot()
+		}
 	}
 }
 
@@ -555,6 +630,24 @@ func (cc *coordClient) markEpoch(e uint32) {
 	cc.sendItems(wire.EpochMark{Epoch: e}, 1)
 }
 
+// sentFrames reports the session log's length (frames ever sequenced).
+func (cc *coordClient) sentFrames() uint64 {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return uint64(len(cc.sent))
+}
+
+// healthy reports the session's liveness for /healthz: terminal session
+// loss is the one condition that turns a node unhealthy while running.
+func (cc *coordClient) healthy() error {
+	select {
+	case <-cc.sessDone:
+		return errors.New("coordinator session lost")
+	default:
+		return nil
+	}
+}
+
 // drain blocks until the whole session log is on the wire or d
 // elapses. A live connection implies the wire carries the full log as
 // a prefix — sendItems writes through or drops the connection, and
@@ -618,6 +711,17 @@ type CoordConfig struct {
 	MetricLabels []obs.Label
 	Timeouts     Timeouts
 	Logf         func(string, ...any)
+	// HTTPAddr, when non-empty (or HTTPListener non-nil), opts into the
+	// introspection server: /metrics serves the coordinator's live
+	// merged registry (every node's streamed snapshots plus per-node
+	// ingest-lag gauges), /statusz the CoordStatus document `pctl top`
+	// polls, /healthz liveness, /debug/pprof/ profiling.
+	HTTPAddr     string
+	HTTPListener net.Listener
+	// Start anchors annotation timestamps; clusters pass the shared run
+	// epoch so annotations line up with node journal timestamps. Zero
+	// means "now".
+	Start time.Time
 }
 
 // Result is a completed cluster run as the coordinator saw it.
@@ -666,6 +770,14 @@ type nodeSession struct {
 	ops      []wire.TraceOp
 	events   []obs.Event
 	cands    int
+
+	// Live-observability state: the node's latest cumulative metrics
+	// snapshot and when it arrived. Deliberately NOT cleared on epoch
+	// discard — the registry is cumulative across re-executions, so the
+	// dashboard keeps its history through a restart.
+	lastSnap   []wire.MetricPoint
+	lastSnapAt time.Time
+	snapEpoch  uint32
 }
 
 // reset clears the session for a relaunched node: sequence numbering
@@ -726,6 +838,14 @@ type Coordinator struct {
 	cands   *obs.Counter
 	opt     Timeouts
 	logf    func(string, ...any)
+	start   time.Time
+
+	// live is the merged cluster registry: every node's streamed
+	// MetricsSnapshot applied with a node label, plus the coordinator's
+	// scrape-time ingest-lag gauges. It backs the introspection
+	// server's /metrics and feeds CoordStatus.
+	live *obs.Registry
+	insp *obs.Introspection
 
 	mu        sync.Mutex
 	sessions  map[int]*nodeSession
@@ -737,6 +857,7 @@ type Coordinator struct {
 	doneCount int
 	byeCount  int
 	conns     map[int]*coordConn
+	annots    []obs.Event // cluster-level annotations (chaos, epoch bumps)
 
 	// shutdownMu serializes the run's terminal decisions — Shutdown
 	// broadcast, Commit broadcast, restart-on-rejoin, and the state
@@ -773,6 +894,10 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 			return nil, fmt.Errorf("node: coordinator listen %s: %w", cfg.Addr, err)
 		}
 	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Now()
+	}
 	c := &Coordinator{
 		n:        cfg.N,
 		ln:       ln,
@@ -780,6 +905,8 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		cands:    cfg.Reg.Counter("predctl_monitor_candidates_total", cfg.MetricLabels...),
 		opt:      cfg.Timeouts.withDefaults(),
 		logf:     logf,
+		start:    start,
+		live:     obs.NewRegistry(),
 		sessions: map[int]*nodeSession{},
 		stats:    make([]Stats, cfg.N),
 		doneSeen: make([]bool, cfg.N),
@@ -788,9 +915,37 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		allByes:  make(chan struct{}),
 		closed:   make(chan struct{}),
 	}
+	if cfg.HTTPAddr != "" || cfg.HTTPListener != nil {
+		insp, err := obs.ServeIntrospection(obs.IntrospectionConfig{
+			Addr: cfg.HTTPAddr, Listener: cfg.HTTPListener,
+			Reg:     c.live,
+			Status:  func() any { return c.Status() },
+			Healthy: c.healthy,
+			Refresh: c.refreshLag,
+			Logf:    logf,
+		})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		c.insp = insp
+	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// HTTPURL returns the introspection server's base URL, or "" when the
+// server was not enabled.
+func (c *Coordinator) HTTPURL() string { return c.insp.URL() }
+
+func (c *Coordinator) healthy() error {
+	select {
+	case <-c.closed:
+		return errors.New("coordinator closed")
+	default:
+		return nil
+	}
 }
 
 // Addr returns the coordinator's listen address.
@@ -822,6 +977,7 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 	}
 	stats := append([]Stats(nil), c.stats...)
 	epoch, restarts := c.epoch, c.restarts
+	annots := append([]obs.Event(nil), c.annots...)
 	c.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
 
@@ -842,6 +998,7 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 		candidates += st.cands
 		st.mu.Unlock()
 	}
+	events = append(events, annots...)
 	// The merged journal is time-ordered across nodes (stably, so each
 	// node's own order survives ties); the invariant checkers order by
 	// generation themselves, this is for human timelines.
@@ -871,6 +1028,7 @@ func (c *Coordinator) Close() {
 	default:
 		close(c.closed)
 	}
+	c.insp.Close()
 	c.ln.Close()
 	c.mu.Lock()
 	for _, conn := range c.conns {
@@ -1116,6 +1274,7 @@ func (c *Coordinator) restartClusterLocked(id int) {
 	conns := c.snapshotConnsLocked()
 	c.mu.Unlock()
 	c.logf("coordinator: node %d rejoined; restarting cluster at epoch %d", id, e)
+	c.Annotate(obs.EvEpochRestart, int64(id), int64(e))
 	c.broadcast(conns, wire.Restart{Epoch: e}, "restart")
 }
 
@@ -1188,6 +1347,16 @@ func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32)
 			})
 		}
 		st.mu.Unlock()
+	case wire.MetricsSnapshot:
+		st.mu.Lock()
+		st.lastSnap = v.Points
+		st.lastSnapAt = time.Now()
+		st.snapEpoch = v.Epoch
+		st.mu.Unlock()
+		// Cumulative set semantics make re-applied resume replays
+		// idempotent; the node label scopes series from nodes that
+		// don't already label themselves.
+		c.live.ApplySnapshot(toObsPoints(v.Points), obs.L("node", strconv.Itoa(st.id)))
 	case wire.Candidate:
 		c.ingestCandidate(st, v)
 	case wire.CandidateBatch:
@@ -1264,6 +1433,125 @@ func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32)
 		c.logf("coordinator: node %d: unexpected %T", st.id, m)
 	}
 	return actNone, 0
+}
+
+// refreshLag recomputes the per-node snapshot-staleness gauges —
+// predctl_coord_ingest_lag_seconds{node=...} — at scrape time, the
+// introspection server's Refresh hook. A node that has never
+// snapshotted has no lag series (absence is the signal).
+func (c *Coordinator) refreshLag() {
+	now := time.Now()
+	for _, st := range c.sessionsSorted() {
+		st.mu.Lock()
+		at := st.lastSnapAt
+		st.mu.Unlock()
+		if at.IsZero() {
+			continue
+		}
+		c.live.FloatGauge("predctl_coord_ingest_lag_seconds",
+			obs.L("node", strconv.Itoa(st.id))).Set(now.Sub(at).Seconds())
+	}
+}
+
+// sessionsSorted snapshots the session table in node-id order.
+func (c *Coordinator) sessionsSorted() []*nodeSession {
+	c.mu.Lock()
+	sessions := make([]*nodeSession, 0, len(c.sessions))
+	for _, st := range c.sessions {
+		sessions = append(sessions, st)
+	}
+	c.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+	return sessions
+}
+
+// CoordStatus is the coordinator's /statusz document: the cluster's
+// completion state plus one row per attached node — what `pctl top`
+// renders.
+type CoordStatus struct {
+	N         int               `json:"n"`
+	Epoch     uint32            `json:"epoch"`
+	Restarts  int               `json:"restarts"`
+	Done      int               `json:"done"`
+	Byes      int               `json:"byes"`
+	Shutdown  bool              `json:"shutdown"`
+	Committed bool              `json:"committed"`
+	UptimeMs  int64             `json:"uptime_ms"`
+	Nodes     []CoordNodeStatus `json:"nodes"`
+}
+
+// CoordNodeStatus is one node's row in CoordStatus.
+type CoordNodeStatus struct {
+	Node       int    `json:"node"`
+	Epoch      uint32 `json:"epoch"` // the stream's epoch (last EpochMark)
+	LastSeq    uint64 `json:"last_seq"`
+	Candidates int    `json:"candidates"`
+	Done       bool   `json:"done"`
+	Bye        bool   `json:"bye"`
+	// LagMs is the age of the node's last metrics snapshot; -1 until
+	// one arrives.
+	LagMs float64 `json:"lag_ms"`
+	// Metrics folds the node's last snapshot into per-name totals
+	// (counters and gauges, labels summed out) so pollers need not
+	// parse series keys.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// Status assembles the live status document. Safe to call while the
+// run streams; it takes only brief per-session locks.
+func (c *Coordinator) Status() CoordStatus {
+	now := time.Now()
+	c.mu.Lock()
+	s := CoordStatus{
+		N: c.n, Epoch: c.epoch, Restarts: c.restarts,
+		Done: c.doneCount, Byes: c.byeCount,
+		UptimeMs: now.Sub(c.start).Milliseconds(),
+	}
+	doneSeen := append([]bool(nil), c.doneSeen...)
+	byeSeen := append([]bool(nil), c.byeSeen...)
+	c.mu.Unlock()
+	c.shutdownMu.Lock()
+	s.Shutdown, s.Committed = c.shutdown, c.committed
+	c.shutdownMu.Unlock()
+	for _, st := range c.sessionsSorted() {
+		st.mu.Lock()
+		row := CoordNodeStatus{
+			Node: st.id, Epoch: st.epoch, LastSeq: st.lastSeq,
+			Candidates: st.cands, LagMs: -1,
+			Metrics: obs.SumByName(toObsPoints(st.lastSnap)),
+		}
+		if !st.lastSnapAt.IsZero() {
+			row.LagMs = float64(now.Sub(st.lastSnapAt).Microseconds()) / 1e3
+		}
+		st.mu.Unlock()
+		if st.id >= 0 && st.id < len(doneSeen) {
+			row.Done, row.Bye = doneSeen[st.id], byeSeen[st.id]
+		}
+		s.Nodes = append(s.Nodes, row)
+	}
+	return s
+}
+
+// Annotate records a cluster-level instant event — a chaos injection,
+// an epoch bump — on the merged journal's timeline. Annotations use
+// Proc -1 (no logical process; the trace exporter renders them on a
+// cluster pseudo-row) and survive epoch discards: they describe the
+// run's real history, which controlled re-execution does not rewrite.
+func (c *Coordinator) Annotate(name string, a, b int64) {
+	c.AnnotateAt(time.Since(c.start).Nanoseconds(), name, a, b)
+}
+
+// AnnotateAt is Annotate with an explicit timestamp (nanoseconds
+// relative to the run start) — for events whose schedule is known a
+// priori, like partition windows.
+func (c *Coordinator) AnnotateAt(atNs int64, name string, a, b int64) {
+	e := obs.Event{
+		At: atNs, Proc: -1,
+		Kind: obs.KindControl, Name: name, A: a, B: b,
+	}
+	c.mu.Lock()
+	c.annots = append(c.annots, e)
+	c.mu.Unlock()
 }
 
 func (c *Coordinator) ingestCandidate(st *nodeSession, v wire.Candidate) {

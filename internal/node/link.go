@@ -95,6 +95,7 @@ type wireMeters struct {
 	frames *obs.Counter
 	bytes  *obs.Counter
 	batch  *obs.Histogram
+	retx   *obs.Counter
 }
 
 // newWireMeters resolves the wire metrics for one stream ("mesh" for
@@ -105,6 +106,7 @@ func newWireMeters(reg *obs.Registry, stream string, labels []obs.Label) wireMet
 		frames: reg.Counter("predctl_wire_frames_total", ls...),
 		bytes:  reg.Counter("predctl_wire_bytes_total", ls...),
 		batch:  reg.Histogram("predctl_wire_batch_size", ls...),
+		retx:   reg.Counter("predctl_wire_retransmits_total", ls...),
 	}
 }
 
@@ -358,10 +360,14 @@ func (l *link) flush(retransmit bool) {
 	// them masquerade as the new epoch's small sequence numbers (a stale
 	// protocol ack delivered into the re-execution grants instantly).
 	epoch := l.curEpoch
+	resent := 0
 	for i := range l.unacked {
 		f := &l.unacked[i]
 		if f.sent && !retransmit {
 			continue
+		}
+		if f.sent {
+			resent++
 		}
 		f.sent = true
 		l.wbuf = append(l.wbuf, f.buf.B...)
@@ -370,6 +376,9 @@ func (l *link) flush(retransmit bool) {
 	l.mu.Unlock()
 	if len(l.marks) == 0 {
 		return
+	}
+	if resent > 0 {
+		l.wm.retx.Add(int64(resent))
 	}
 	l.wm.frames.Add(int64(len(l.marks)))
 	l.wm.batch.Observe(int64(len(l.marks)))

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predctl/internal/obs"
@@ -91,6 +92,11 @@ type Config struct {
 	// everything mid-flight and return ErrCrashed, the in-process
 	// equivalent of killing the daemon.
 	Crash <-chan struct{}
+	// HTTPAddr, when non-empty (or HTTPListener non-nil), opts into the
+	// node's introspection server: /metrics (the node's registry),
+	// /statusz (NodeStatus), /healthz, /debug/pprof/.
+	HTTPAddr     string
+	HTTPListener net.Listener
 	// WaitRestart marks this Run as the relaunch of a crashed node: it
 	// holds off executing until the coordinator's restart decision
 	// arrives and starts directly at the fresh epoch. Without it a
@@ -235,6 +241,13 @@ func Run(cfg Config) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Reg != nil && batch.SnapshotEvery > 0 {
+		// Set before the first ensureFlusher so the flusher goroutine
+		// observes it; the registry is epoch-independent, so one closure
+		// serves every re-execution.
+		cc.start = start
+		cc.snap = func() []wire.MetricPoint { return toWirePoints(cfg.Reg.Snapshot()) }
+	}
 	tr, err := NewTransport(TransportConfig{
 		ID: cfg.ID, N: cfg.N, Addrs: cfg.Addrs, Listener: cfg.Listener,
 		Faults: cfg.Faults, Timeouts: cfg.Timeouts,
@@ -244,6 +257,27 @@ func Run(cfg Config) (*Stats, error) {
 	if err != nil {
 		cc.close()
 		return nil, err
+	}
+
+	// cur tracks the epoch's execution state for /statusz; it trails the
+	// epoch loop by design (a restart swaps it when the new state is up).
+	var cur atomic.Pointer[node]
+	var insp *obs.Introspection
+	if cfg.HTTPAddr != "" || cfg.HTTPListener != nil {
+		insp, err = obs.ServeIntrospection(obs.IntrospectionConfig{
+			Addr: cfg.HTTPAddr, Listener: cfg.HTTPListener,
+			Reg:     cfg.Reg,
+			Status:  func() any { return nodeStatus(cfg, cur.Load(), cc) },
+			Healthy: cc.healthy,
+			Logf:    logf,
+		})
+		if err != nil {
+			tr.Close()
+			cc.close()
+			return nil, err
+		}
+		defer insp.Close()
+		logf("node %d: introspection at %s", cfg.ID, insp.URL())
 	}
 
 	epoch := uint32(0)
@@ -258,6 +292,9 @@ func Run(cfg Config) (*Stats, error) {
 			tr.Reset(e)
 			cc.markEpoch(e)
 			epoch = e
+			// After markEpoch, so the event lands in (and survives
+			// with) the fresh epoch rather than the discarded one.
+			journalRestart(cfg, cc, start, e)
 		case <-cc.commitCh:
 			// Rejoined after the run was sealed: nothing to re-execute,
 			// nothing to contribute. Stand down.
@@ -281,6 +318,7 @@ func Run(cfg Config) (*Stats, error) {
 		// together implement the size-or-interval flush policy.
 		nd.cap.kick, nd.cap.kickAt = cc.kickFlush, batch.MaxItems
 		cc.ensureFlusher(nd.cap.take)
+		cur.Store(nd)
 		out := nd.runEpoch()
 		switch out.kind {
 		case epochCrashed:
@@ -296,6 +334,7 @@ func Run(cfg Config) (*Stats, error) {
 			tr.Reset(out.epoch)
 			cc.markEpoch(out.epoch)
 			epoch = out.epoch
+			journalRestart(cfg, cc, start, out.epoch)
 			// A Shutdown this restart superseded may still sit unread in
 			// the event buffer (the reader pushed it before the Restart);
 			// drop it so the new epoch can't mistake it for its own.
@@ -325,6 +364,49 @@ func Run(cfg Config) (*Stats, error) {
 			return &s, nil
 		}
 	}
+}
+
+// journalRestart records the first event of a re-execution epoch —
+// locally and on the capture stream — so the merged journal (and the
+// cluster trace exporter) can mark where the surviving execution began.
+// Callers emit it after markEpoch: the event must belong to the fresh
+// epoch, not the discarded one.
+func journalRestart(cfg Config, cc *coordClient, start time.Time, e uint32) {
+	ev := obs.Event{
+		At: time.Since(start).Nanoseconds(), Proc: cfg.N + cfg.ID,
+		Kind: obs.KindControl, Name: obs.EvEpochRestart,
+		A: int64(cfg.ID), C: int64(e),
+	}
+	cfg.Journal.Append(ev)
+	cc.sendJournal(ev)
+}
+
+// NodeStatus is a node's /statusz document.
+type NodeStatus struct {
+	Node  int    `json:"node"`
+	N     int    `json:"n"`
+	Epoch uint32 `json:"epoch"`
+	// StreamFrames is the coordinator capture stream's session-log
+	// length: every frame ever sequenced, survives reconnects.
+	StreamFrames uint64 `json:"stream_frames"`
+	Requests     int    `json:"requests"`
+	Handoffs     int    `json:"handoffs"`
+	CtlMessages  int    `json:"ctl_messages"`
+}
+
+// nodeStatus assembles the live status snapshot; nd may be nil before
+// the first epoch starts.
+func nodeStatus(cfg Config, nd *node, cc *coordClient) NodeStatus {
+	s := NodeStatus{Node: cfg.ID, N: cfg.N, StreamFrames: cc.sentFrames()}
+	if nd != nil {
+		s.Epoch = nd.epoch
+		nd.statsMu.Lock()
+		s.Requests = nd.stats.Requests
+		s.Handoffs = nd.stats.Handoffs
+		s.CtlMessages = nd.stats.CtlMessages
+		nd.statsMu.Unlock()
+	}
+	return s
 }
 
 // newNodeState builds one epoch's fresh execution state.

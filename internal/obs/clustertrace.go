@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// clustertrace.go renders a coordinator's merged cluster journal as
+// Chrome trace_event JSON with the cluster's real topology: one trace
+// process (pid) per node, an "app" and a "ctl" thread row inside each,
+// and a synthetic "cluster" process for run-level annotations (chaos
+// injections, partition windows, epoch bumps). Where the single-run
+// exporter (chrome.go) pairs flows by kernel message sequence numbers,
+// nodes share no sequence space — so cross-node control messages are
+// paired causally: a send's vector clock is matched to the first event
+// on the target node whose clock dominates it, which is exactly the
+// first journaled instant after the receive. Wall-clock nanoseconds
+// (relative to the shared run start) map to trace microseconds.
+
+// ClusterTraceOptions tunes the cluster export.
+type ClusterTraceOptions struct {
+	// N is the node count (apps are processes 0..N-1, controllers
+	// N..2N-1). 0 infers it from the highest process index seen.
+	N int
+}
+
+// vcStamp is one vector-clocked journal event on a node's controller
+// row, in that node's local order.
+type vcStamp struct {
+	at int64
+	vc []int32
+}
+
+// ClusterTrace renders the merged journal as trace_event JSON. The
+// output is deterministic for a deterministic journal: events are
+// ordered by timestamp (stably, preserving the merge order of ties)
+// and flow ids are assigned in that order.
+func ClusterTrace(j *Journal, opts ClusterTraceOptions) ([]byte, error) {
+	events := append([]Event(nil), j.Events()...)
+	sort.SliceStable(events, func(i, k int) bool { return events[i].At < events[k].At })
+
+	n := opts.N
+	if n == 0 {
+		maxProc := 0
+		for _, e := range events {
+			if e.Proc > maxProc {
+				maxProc = e.Proc
+			}
+		}
+		n = maxProc/2 + 1
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("obs: cluster trace needs n ≥ 1, got %d", n)
+	}
+	const (
+		tidApp = 0
+		tidCtl = 1
+	)
+	clusterPid := n // run-level annotation row
+
+	// row maps a logical process to its (pid, tid) cell; annotations
+	// (Proc < 0) and out-of-range processes land on the cluster row.
+	row := func(proc int) (int, int) {
+		switch {
+		case proc >= 0 && proc < n:
+			return proc, tidApp
+		case proc >= n && proc < 2*n:
+			return proc - n, tidCtl
+		default:
+			return clusterPid, tidApp
+		}
+	}
+
+	// Per-node controller stamps for causal flow matching. Along one
+	// node's own event order every clock component is monotone
+	// non-decreasing (ticks and observes only grow it), so the first
+	// dominating event is found by binary search.
+	stamps := make([][]vcStamp, n)
+	for _, e := range events {
+		if e.Kind == KindControl && len(e.VC) > 0 && e.Proc >= n && e.Proc < 2*n {
+			node := e.Proc - n
+			stamps[node] = append(stamps[node], vcStamp{at: e.At, vc: e.VC})
+		}
+	}
+	// matchRecv finds the timestamp of the first event on node target
+	// whose clock component for the sending app reached k — the causal
+	// receive anchor. ok is false while the message is still in flight
+	// at journal end.
+	matchRecv := func(target, senderApp int, k int32) (int64, bool) {
+		if target < 0 || target >= n {
+			return 0, false
+		}
+		s := stamps[target]
+		i := sort.Search(len(s), func(i int) bool {
+			return senderApp < len(s[i].vc) && s[i].vc[senderApp] >= k
+		})
+		if i == len(s) {
+			return 0, false
+		}
+		return s[i].at, true
+	}
+
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	emit := func(e traceEvent) { doc.TraceEvents = append(doc.TraceEvents, e) }
+	us := func(ns int64) int64 { return ns / 1000 }
+
+	for pid := 0; pid < n; pid++ {
+		emit(traceEvent{Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", pid)}})
+		emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidApp,
+			Args: map[string]any{"name": "app"}})
+		emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tidCtl,
+			Args: map[string]any{"name": "ctl"}})
+	}
+	emit(traceEvent{Name: "process_name", Ph: "M", Pid: clusterPid,
+		Args: map[string]any{"name": "cluster"}})
+	emit(traceEvent{Name: "thread_name", Ph: "M", Pid: clusterPid, Tid: tidApp,
+		Args: map[string]any{"name": "chaos / epochs"}})
+
+	// csOpen holds each app row's open critical-section entry.
+	csOpen := map[int]Event{}
+	flowID := int64(0)
+	for _, e := range events {
+		pid, tid := row(e.Proc)
+		switch e.Kind {
+		case KindSet:
+			// A state flip to non-zero opens a slice (the cs=1 false
+			// interval of ¬cs), back to zero closes it.
+			if e.A != 0 {
+				csOpen[e.Proc] = e
+				continue
+			}
+			if b, ok := csOpen[e.Proc]; ok {
+				delete(csOpen, e.Proc)
+				emit(traceEvent{Name: b.Name, Ph: "X",
+					Ts: us(b.At), Dur: us(e.At) - us(b.At), Pid: pid, Tid: tid})
+			}
+		case KindControl, KindMark:
+			scope := "t"
+			if e.Proc < 0 {
+				// Run-level annotation: a full-height marker across the
+				// whole trace.
+				scope = "g"
+			}
+			args := map[string]any{"a": e.A, "b": e.B}
+			if e.C != 0 {
+				args["c"] = e.C
+			}
+			if e.VC != nil {
+				args["vc"] = e.VC
+			}
+			emit(traceEvent{Name: e.Name, Ph: "i", Ts: us(e.At), Pid: pid, Tid: tid,
+				S: scope, Args: args})
+			// Cross-node control messages (ctl.req/ack/confirm/cancel
+			// and broadcast cancels) get causal flow arrows: A is the
+			// target app, the clock identifies the send.
+			if len(e.Name) > len(EvCtlPrefix) && e.Name[:len(EvCtlPrefix)] == EvCtlPrefix &&
+				e.Proc >= n && e.Proc < 2*n && len(e.VC) > 0 {
+				senderApp := e.Proc - n
+				target := int(e.A)
+				if senderApp < len(e.VC) {
+					if at, ok := matchRecv(target, senderApp, e.VC[senderApp]); ok {
+						flowID++
+						name := fmt.Sprintf("%s n%d→n%d", e.Name, senderApp, target)
+						emit(traceEvent{Name: name, Ph: "s", Ts: us(e.At),
+							Pid: pid, Tid: tid, ID: flowID})
+						tp, tt := row(target + n)
+						emit(traceEvent{Name: name, Ph: "f", Bp: "e", Ts: us(at),
+							Pid: tp, Tid: tt, ID: flowID})
+					}
+				}
+			}
+		}
+	}
+	// Critical sections the run tore down while open degrade to
+	// instants (sorted for determinism).
+	open := make([]int, 0, len(csOpen))
+	for p := range csOpen {
+		open = append(open, p)
+	}
+	sort.Ints(open)
+	for _, p := range open {
+		b := csOpen[p]
+		pid, tid := row(p)
+		emit(traceEvent{Name: b.Name + " (unclosed)", Ph: "i",
+			Ts: us(b.At), Pid: pid, Tid: tid, S: "t"})
+	}
+
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

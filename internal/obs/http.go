@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// IntrospectionConfig configures the opt-in HTTP introspection server a
+// node or coordinator exposes for live debugging.
+type IntrospectionConfig struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	// Ignored when Listener is set.
+	Addr string
+	// Listener, when non-nil, is used instead of binding Addr — tests
+	// and harnesses bind first so they know the port before the run.
+	Listener net.Listener
+	// Reg backs /metrics (Prometheus text exposition).
+	Reg *Registry
+	// Status, when non-nil, backs /statusz (rendered as indented JSON).
+	Status func() any
+	// Healthy, when non-nil, backs /healthz: nil → 200 "ok", error →
+	// 503 with the message. When nil, /healthz always reports ok.
+	Healthy func() error
+	// Refresh, when non-nil, runs before each /metrics and /statusz
+	// render — the hook that recomputes staleness/lag gauges at scrape
+	// time instead of on a timer.
+	Refresh func()
+	// Logf, when non-nil, receives serve errors.
+	Logf func(format string, args ...any)
+}
+
+// Introspection is a running introspection server.
+type Introspection struct {
+	ln   net.Listener
+	srv  *http.Server
+	logf func(format string, args ...any)
+}
+
+// ServeIntrospection starts an HTTP server exposing /metrics, /healthz,
+// /statusz and net/http/pprof under /debug/pprof/. It returns once the
+// listener is bound; Close shuts it down.
+func ServeIntrospection(cfg IntrospectionConfig) (*Introspection, error) {
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("obs: introspection listen %s: %w", cfg.Addr, err)
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Refresh != nil {
+			cfg.Refresh()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Healthy != nil {
+			if err := cfg.Healthy(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Refresh != nil {
+			cfg.Refresh()
+		}
+		var v any
+		if cfg.Status != nil {
+			v = cfg.Status()
+		}
+		doc, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(doc)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Introspection{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		logf: cfg.Logf,
+	}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed && s.logf != nil {
+			s.logf("introspection serve: %v", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Introspection) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL.
+func (s *Introspection) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close stops the server. Safe on nil.
+func (s *Introspection) Close() {
+	if s == nil {
+		return
+	}
+	_ = s.srv.Close()
+}

@@ -33,6 +33,16 @@ const (
 	// EvCtlPrefix prefixes controller-to-controller protocol messages
 	// ("ctl.req", "ctl.ack", "ctl.confirm", "ctl.cancel").
 	EvCtlPrefix = "ctl."
+	// EvEpochRestart marks the first event of a controlled re-execution
+	// epoch on a node; A is the node index, C the new epoch.
+	EvEpochRestart = "epoch.restart"
+	// EvChaosCrash marks an injected crash; A is the crashed node.
+	EvChaosCrash = "chaos.crash"
+	// EvPartitionOpen / EvPartitionHeal bracket an injected network
+	// partition; A and B are the partitioned node pair (A < B), or -1
+	// for "all links of A".
+	EvPartitionOpen = "partition.open"
+	EvPartitionHeal = "partition.heal"
 )
 
 // Violation is one failed invariant with its journal context.

@@ -3,7 +3,9 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,8 +19,13 @@ func L(k, v string) Label { return Label{k, v} }
 
 // Counter is a monotonically increasing int64 metric. The nil receiver
 // is valid and inert, so instrumented code resolves its counters once
-// (possibly to nil) and increments unconditionally.
-type Counter struct{ v atomic.Int64 }
+// (possibly to nil) and increments unconditionally. A counter resolved
+// through a child registry carries a parent link so increments tee into
+// the aggregate series (see Registry.Child).
+type Counter struct {
+	v      atomic.Int64
+	parent *Counter
+}
 
 // Inc adds 1.
 func (c *Counter) Inc() { c.Add(1) }
@@ -27,6 +34,16 @@ func (c *Counter) Inc() { c.Add(1) }
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
+		c.parent.Add(n)
+	}
+}
+
+// set overwrites the count without touching the parent chain — used by
+// ApplySnapshot, where points are cumulative values from a remote
+// registry, not deltas.
+func (c *Counter) set(n int64) {
+	if c != nil {
+		c.v.Store(n)
 	}
 }
 
@@ -39,12 +56,16 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a last-write-wins int64 metric (run end time, chain length).
-type Gauge struct{ v atomic.Int64 }
+type Gauge struct {
+	v      atomic.Int64
+	parent *Gauge
+}
 
 // Set records v.
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
+		g.parent.Set(v)
 	}
 }
 
@@ -56,17 +77,37 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a last-write-wins float64 metric (lag seconds, rates).
+// Stored as atomic bits so readers never see torn values.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set records v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last recorded value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram records int64 observations (virtual-time latencies, chain
 // lengths). It retains every observation up to a cap — the paper's
 // response-time invariant is a statement about *each* observation, not
 // a summary, so the checker needs the raw values; protocol runs observe
 // a few thousand at most. Past the cap it degrades to count/sum/max.
 type Histogram struct {
-	mu   sync.Mutex
-	vals []int64
-	sum  int64
-	max  int64
-	n    int64
+	mu     sync.Mutex
+	vals   []int64
+	sum    int64
+	max    int64
+	n      int64
+	parent *Histogram
 }
 
 // histCap bounds retained raw observations per histogram.
@@ -86,7 +127,9 @@ func (h *Histogram) Observe(v int64) {
 	if len(h.vals) < histCap {
 		h.vals = append(h.vals, v)
 	}
+	p := h.parent
 	h.mu.Unlock()
+	p.Observe(v)
 }
 
 // Count returns the number of observations.
@@ -147,11 +190,17 @@ func (h *Histogram) Values() []int64 {
 // themselves inert — an uninstrumented run threads nil all the way
 // down at zero cost.
 type Registry struct {
-	mu     sync.Mutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
-	spans  map[string]*SpanStats
+	mu      sync.Mutex
+	counts  map[string]*Counter
+	gauges  map[string]*Gauge
+	fgauges map[string]*FloatGauge
+	hists   map[string]*Histogram
+	spans   map[string]*SpanStats
+	// parent and extra are set on child registries (see Child): every
+	// series carries the extra labels, and int instruments tee their
+	// updates into the matching parent series.
+	parent *Registry
+	extra  []Label
 	// TrackAllocs enables allocation accounting in Span (serialized,
 	// coarse; meant for the single-threaded experiment harness).
 	TrackAllocs bool
@@ -160,10 +209,46 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counts: map[string]*Counter{},
-		gauges: map[string]*Gauge{},
-		hists:  map[string]*Histogram{},
-		spans:  map[string]*SpanStats{},
+		counts:  map[string]*Counter{},
+		gauges:  map[string]*Gauge{},
+		fgauges: map[string]*FloatGauge{},
+		hists:   map[string]*Histogram{},
+		spans:   map[string]*SpanStats{},
+	}
+}
+
+// Child returns a tee registry: every instrument resolved through it
+// carries the extra labels in its series identity, and counter, gauge
+// and histogram updates additionally flow into the matching series of
+// this (parent) registry *without* the extra labels. A cluster harness
+// hands each node `reg.Child(obs.L("node", id))` so the shared
+// aggregate series keep working while per-node attribution comes for
+// free. Nil receiver returns nil (itself a valid inert registry).
+func (r *Registry) Child(labels ...Label) *Registry {
+	if r == nil {
+		return nil
+	}
+	c := NewRegistry()
+	c.parent = r
+	c.extra = append(append([]Label(nil), r.extra...), labels...)
+	return c
+}
+
+// escapeLabel appends v with Prometheus exposition-format escaping:
+// backslash, double quote, and newline are the only escaped characters
+// (Go %q escapes more, producing label values other scrapers reject).
+func escapeLabel(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
 	}
 }
 
@@ -182,10 +267,21 @@ func key(name string, labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		escapeLabel(&b, l.Value)
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// withExtra appends the registry's child labels to a lookup's labels.
+func (r *Registry) withExtra(labels []Label) []Label {
+	if len(r.extra) == 0 {
+		return labels
+	}
+	return append(append([]Label(nil), labels...), r.extra...)
 }
 
 // Counter returns (creating if needed) the counter name{labels}.
@@ -193,12 +289,12 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	k := key(name, labels)
+	k := key(name, r.withExtra(labels))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counts[k]
 	if !ok {
-		c = &Counter{}
+		c = &Counter{parent: r.parent.Counter(name, labels...)}
 		r.counts[k] = c
 	}
 	return c
@@ -209,13 +305,32 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	k := key(name, labels)
+	k := key(name, r.withExtra(labels))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[k]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{parent: r.parent.Gauge(name, labels...)}
 		r.gauges[k] = g
+	}
+	return g
+}
+
+// FloatGauge returns (creating if needed) the float gauge name{labels}.
+// Float gauges are local to their registry (no parent tee — aggregating
+// last-write-wins floats across nodes is meaningless) and are excluded
+// from Snapshot.
+func (r *Registry) FloatGauge(name string, labels ...Label) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	k := key(name, r.withExtra(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.fgauges[k]
+	if !ok {
+		g = &FloatGauge{}
+		r.fgauges[k] = g
 	}
 	return g
 }
@@ -225,12 +340,12 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	if r == nil {
 		return nil
 	}
-	k := key(name, labels)
+	k := key(name, r.withExtra(labels))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[k]
 	if !ok {
-		h = &Histogram{}
+		h = &Histogram{parent: r.parent.Histogram(name, labels...)}
 		r.hists[k] = h
 	}
 	return h
@@ -267,6 +382,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for k, g := range r.gauges {
 		gauges[k] = g
 	}
+	fgauges := make(map[string]*FloatGauge, len(r.fgauges))
+	for k, g := range r.fgauges {
+		fgauges[k] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for k, h := range r.hists {
 		hists[k] = h
@@ -294,6 +413,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		name, labels := splitKey(k)
 		emitType(name, "gauge")
 		fmt.Fprintf(&b, "%s%s %d\n", name, labels, gauges[k].Value())
+	}
+	for _, k := range sortedKeys(fgauges) {
+		name, labels := splitKey(k)
+		emitType(name, "gauge")
+		fmt.Fprintf(&b, "%s%s %s\n", name, labels, strconv.FormatFloat(fgauges[k].Value(), 'g', -1, 64))
 	}
 	for _, k := range sortedKeys(hists) {
 		name, labels := splitKey(k)

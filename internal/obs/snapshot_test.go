@@ -1,0 +1,223 @@
+package obs_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"predctl/internal/obs"
+)
+
+// Prometheus exposition escaping: label values escape exactly
+// backslash, double quote, and newline — not the full Go %q set (tabs,
+// non-ASCII, etc. must pass through verbatim).
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("esc_total", obs.L("path", `C:\tmp\"x"`+"\nnext"), obs.L("utf", "héllo\ttab")).Add(3)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `esc_total{path="C:\\tmp\\\"x\"\nnext",utf="héllo` + "\t" + `tab"} 3` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped series not found\nwant: %q\nin:\n%s", want, out)
+	}
+	if strings.Contains(out, `\x`) || strings.Contains(out, `\u`) || strings.Contains(out, `\xc3`) {
+		t.Fatalf("Go-style escapes leaked into exposition:\n%s", out)
+	}
+}
+
+// ParseKey must invert the canonical rendering, including escapes.
+func TestParseKeyRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	labels := []obs.Label{obs.L("a", `v\1`), obs.L("b", `say "hi"`), obs.L("c", "two\nlines")}
+	reg.Counter("rt_total", labels...).Inc()
+	pts := reg.Snapshot()
+	if len(pts) != 1 {
+		t.Fatalf("snapshot = %v, want 1 point", pts)
+	}
+	name, got, err := obs.ParseKey(pts[0].Key)
+	if err != nil {
+		t.Fatalf("ParseKey(%q): %v", pts[0].Key, err)
+	}
+	if name != "rt_total" || len(got) != 3 {
+		t.Fatalf("ParseKey(%q) = %q %v", pts[0].Key, name, got)
+	}
+	for i, l := range got {
+		if l != labels[i] {
+			t.Errorf("label %d = %v, want %v", i, l, labels[i])
+		}
+	}
+	if _, _, err := obs.ParseKey("bad{x=5}"); err == nil {
+		t.Error("ParseKey accepted malformed label block")
+	}
+}
+
+// Child registries tee updates into the parent's aggregate series while
+// keying their own series with the extra labels.
+func TestChildRegistryTee(t *testing.T) {
+	parent := obs.NewRegistry()
+	c0 := parent.Child(obs.L("node", "0"))
+	c1 := parent.Child(obs.L("node", "1"))
+	c0.Counter("reqs_total", obs.L("stream", "coord")).Add(2)
+	c1.Counter("reqs_total", obs.L("stream", "coord")).Add(5)
+	c0.Gauge("epoch").Set(3)
+	c0.Histogram("lat_ns").Observe(10)
+	c1.Histogram("lat_ns").Observe(30)
+
+	if got := parent.Counter("reqs_total", obs.L("stream", "coord")).Value(); got != 7 {
+		t.Errorf("parent aggregate counter = %d, want 7", got)
+	}
+	if got := parent.Gauge("epoch").Value(); got != 3 {
+		t.Errorf("parent gauge = %d, want 3", got)
+	}
+	if got, want := parent.Histogram("lat_ns").Count(), int64(2); got != want {
+		t.Errorf("parent histogram count = %d, want %d", got, want)
+	}
+	if got := c0.Counter("reqs_total", obs.L("stream", "coord")).Value(); got != 2 {
+		t.Errorf("child counter = %d, want 2", got)
+	}
+	// Child snapshots carry the node label natively.
+	pts := c1.Snapshot()
+	foundKey := false
+	for _, p := range pts {
+		if p.Kind == obs.MetricCounter && p.Key == `reqs_total{node="1",stream="coord"}` && p.Value == 5 {
+			foundKey = true
+		}
+	}
+	if !foundKey {
+		t.Errorf("child snapshot missing node-labelled series: %v", pts)
+	}
+}
+
+// ApplySnapshot merges node snapshots into a live registry with label
+// injection and set (idempotent) semantics.
+func TestApplySnapshot(t *testing.T) {
+	nodeReg := obs.NewRegistry()
+	nodeReg.Counter("frames_total", obs.L("stream", "coord")).Add(4)
+	nodeReg.Gauge("epoch").Set(2)
+	nodeReg.Histogram("resp_ns").Observe(100)
+	nodeReg.Histogram("resp_ns").Observe(300)
+
+	live := obs.NewRegistry()
+	pts := nodeReg.Snapshot()
+	live.ApplySnapshot(pts, obs.L("node", "3"))
+	live.ApplySnapshot(pts, obs.L("node", "3")) // re-delivery must not double
+
+	if got := live.Counter("frames_total", obs.L("node", "3"), obs.L("stream", "coord")).Value(); got != 4 {
+		t.Errorf("applied counter = %d, want 4", got)
+	}
+	if got := live.Gauge("epoch", obs.L("node", "3")).Value(); got != 2 {
+		t.Errorf("applied gauge = %d, want 2", got)
+	}
+	if got := live.Counter("resp_ns_count", obs.L("node", "3")).Value(); got != 2 {
+		t.Errorf("applied hist count = %d, want 2", got)
+	}
+	if got := live.Counter("resp_ns_sum", obs.L("node", "3")).Value(); got != 400 {
+		t.Errorf("applied hist sum = %d, want 400", got)
+	}
+	if got := live.Gauge("resp_ns_max", obs.L("node", "3")).Value(); got != 300 {
+		t.Errorf("applied hist max = %d, want 300", got)
+	}
+	sums := obs.SumByName(pts)
+	if sums["frames_total"] != 4 || sums["epoch"] != 2 {
+		t.Errorf("SumByName = %v", sums)
+	}
+}
+
+// Concurrent read-while-write: sim/node-style writers hammer counters,
+// gauges, float gauges and histograms (direct and through children)
+// while readers dump Prometheus text, take snapshots, and apply them
+// into a second registry. Run under -race (make check does) this is the
+// registry's concurrency gate.
+func TestRegistryConcurrentReadWhileWrite(t *testing.T) {
+	reg := obs.NewRegistry()
+	live := obs.NewRegistry()
+	const writers = 4
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			child := reg.Child(obs.L("node", fmt.Sprint(w)))
+			for i := 0; i < iters; i++ {
+				reg.Counter("w_total", obs.L("writer", fmt.Sprint(w))).Inc()
+				child.Counter("w_total").Inc()
+				child.Gauge("epoch").Set(int64(i))
+				reg.FloatGauge("lag_seconds", obs.L("writer", fmt.Sprint(w))).Set(float64(i) / 1e3)
+				child.Histogram("lat_ns").Observe(int64(i % 97))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			live.ApplySnapshot(reg.Snapshot(), obs.L("src", "stress"))
+		}
+	}()
+	wg.Wait()
+	for w := 0; w < writers; w++ {
+		if got := reg.Counter("w_total", obs.L("writer", fmt.Sprint(w))).Value(); got != iters {
+			t.Errorf("writer %d counter = %d, want %d", w, got, iters)
+		}
+	}
+	if got := reg.Counter("w_total").Value(); got != writers*iters {
+		t.Errorf("aggregate tee counter = %d, want %d", got, writers*iters)
+	}
+}
+
+// The introspection server serves /metrics, /healthz and /statusz.
+func TestIntrospectionEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("probe_total", obs.L("q", `a"b`)).Add(9)
+	refreshed := 0
+	srv, err := obs.ServeIntrospection(obs.IntrospectionConfig{
+		Addr:    "127.0.0.1:0",
+		Reg:     reg,
+		Status:  func() any { return map[string]int{"n": 3} },
+		Refresh: func() { refreshed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, `probe_total{q="a\"b"} 9`) {
+		t.Errorf("/metrics missing escaped series:\n%s", out)
+	}
+	if out := get("/healthz"); !strings.Contains(out, "ok") {
+		t.Errorf("/healthz = %q", out)
+	}
+	if out := get("/statusz"); !strings.Contains(out, `"n": 3`) {
+		t.Errorf("/statusz = %q", out)
+	}
+	if refreshed != 2 {
+		t.Errorf("refresh hook ran %d times, want 2 (metrics + statusz)", refreshed)
+	}
+}

@@ -53,7 +53,7 @@ func (r *Registry) SpanStats(name string, labels ...Label) *SpanStats {
 	if r == nil {
 		return nil
 	}
-	k := key(name, labels)
+	k := key(name, r.withExtra(labels))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.spans[k]

@@ -64,6 +64,12 @@ var goldenFrames = []struct {
 	{"15_restart", 0, Restart{Epoch: 4}},
 	{"16_epochmark", 17, EpochMark{Epoch: 4}},
 	{"17_commit", 0, Commit{}},
+	{"18_metricssnapshot", 18, MetricsSnapshot{Proc: 3, Epoch: 2, AtNs: 1_500_000_000, Points: []MetricPoint{
+		{Kind: 1, Key: `predctl_requests_total`, Value: 42},
+		{Kind: 1, Key: `predctl_wire_frames_total{stream="coord"}`, Value: 317},
+		{Kind: 2, Key: `predctl_epoch`, Value: 2},
+		{Kind: 5, Key: `predctl_response_ns`, Value: -1},
+	}}},
 }
 
 func goldenPath(name string) string {
@@ -106,7 +112,7 @@ func TestGoldenFrames(t *testing.T) {
 	for _, g := range goldenFrames {
 		kinds[g.msg.wireKind()] = true
 	}
-	for k := kindHello; k <= kindCommit; k++ {
+	for k := kindHello; k <= kindMetricsSnapshot; k++ {
 		if !kinds[k] {
 			t.Errorf("frame kind %d has no golden fixture", k)
 		}

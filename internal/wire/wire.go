@@ -47,7 +47,7 @@ const maxVC = 1 << 16
 // Msg is one decoded protocol message. The set is closed (sealed by the
 // unexported method): Hello, LinkAck, Ctl, App, Candidate, JournalEvent,
 // Trace, Done, Shutdown, JournalBatch, TraceOpBatch, CandidateBatch,
-// Resume, ResumeAck, Restart, EpochMark, Commit.
+// Resume, ResumeAck, Restart, EpochMark, Commit, MetricsSnapshot.
 type Msg interface{ wireKind() byte }
 
 // Frame kinds (the body's second byte).
@@ -69,6 +69,7 @@ const (
 	kindRestart
 	kindEpochMark
 	kindCommit
+	kindMetricsSnapshot
 )
 
 // CtlKind is a controller-to-controller handoff message kind, mirroring
@@ -284,23 +285,48 @@ type EpochMark struct {
 	Epoch uint32
 }
 
-func (Hello) wireKind() byte          { return kindHello }
-func (LinkAck) wireKind() byte        { return kindLinkAck }
-func (Ctl) wireKind() byte            { return kindCtl }
-func (App) wireKind() byte            { return kindApp }
-func (Candidate) wireKind() byte      { return kindCandidate }
-func (JournalEvent) wireKind() byte   { return kindJournalEvent }
-func (Trace) wireKind() byte          { return kindTrace }
-func (Done) wireKind() byte           { return kindDone }
-func (Shutdown) wireKind() byte       { return kindShutdown }
-func (JournalBatch) wireKind() byte   { return kindJournalBatch }
-func (TraceOpBatch) wireKind() byte   { return kindTraceOpBatch }
-func (CandidateBatch) wireKind() byte { return kindCandidateBatch }
-func (Resume) wireKind() byte         { return kindResume }
-func (ResumeAck) wireKind() byte      { return kindResumeAck }
-func (Restart) wireKind() byte        { return kindRestart }
-func (EpochMark) wireKind() byte      { return kindEpochMark }
-func (Commit) wireKind() byte         { return kindCommit }
+// MetricPoint is one cumulative metric value inside a MetricsSnapshot:
+// Kind discriminates counter/gauge/histogram-component (mirroring
+// obs.MetricKind without importing it), Key is the rendered Prometheus
+// series identity (name{labels}), Value the current cumulative value.
+type MetricPoint struct {
+	Kind  uint8
+	Key   string
+	Value int64
+}
+
+// MetricsSnapshot is a node's periodic live-metrics report to the
+// coordinator: a full cumulative dump of its registry, flushed on the
+// capture batcher's cadence. Set semantics make re-delivery and session
+// replay idempotent; the coordinator merges the points into its live
+// registry under a node label and feeds `/metrics`, `/statusz` and
+// `pctl top`. AtNs is the node's wall-clock nanoseconds since run
+// start, Epoch its current re-execution epoch.
+type MetricsSnapshot struct {
+	Proc   int32
+	Epoch  uint32
+	AtNs   int64
+	Points []MetricPoint
+}
+
+func (Hello) wireKind() byte           { return kindHello }
+func (LinkAck) wireKind() byte         { return kindLinkAck }
+func (Ctl) wireKind() byte             { return kindCtl }
+func (App) wireKind() byte             { return kindApp }
+func (Candidate) wireKind() byte       { return kindCandidate }
+func (JournalEvent) wireKind() byte    { return kindJournalEvent }
+func (Trace) wireKind() byte           { return kindTrace }
+func (Done) wireKind() byte            { return kindDone }
+func (Shutdown) wireKind() byte        { return kindShutdown }
+func (JournalBatch) wireKind() byte    { return kindJournalBatch }
+func (TraceOpBatch) wireKind() byte    { return kindTraceOpBatch }
+func (CandidateBatch) wireKind() byte  { return kindCandidateBatch }
+func (Resume) wireKind() byte          { return kindResume }
+func (ResumeAck) wireKind() byte       { return kindResumeAck }
+func (Restart) wireKind() byte         { return kindRestart }
+func (EpochMark) wireKind() byte       { return kindEpochMark }
+func (Commit) wireKind() byte          { return kindCommit }
+func (MetricsSnapshot) wireKind() byte { return kindMetricsSnapshot }
 
 // --- encoding ---
 
@@ -442,6 +468,16 @@ func AppendBody(dst []byte, seq uint64, m Msg) []byte {
 		dst = appendUvarint(dst, uint64(v.Epoch))
 	case EpochMark:
 		dst = appendUvarint(dst, uint64(v.Epoch))
+	case MetricsSnapshot:
+		dst = appendVarint(dst, int64(v.Proc))
+		dst = appendUvarint(dst, uint64(v.Epoch))
+		dst = appendVarint(dst, v.AtNs)
+		dst = appendUvarint(dst, uint64(len(v.Points)))
+		for _, p := range v.Points {
+			dst = append(dst, p.Kind)
+			dst = appendString(dst, p.Key)
+			dst = appendVarint(dst, p.Value)
+		}
 	default:
 		panic(fmt.Sprintf("wire: unknown message type %T", m))
 	}
@@ -722,6 +758,19 @@ func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
 		m = Restart{Epoch: uint32(d.uvarint())}
 	case kindEpochMark:
 		m = EpochMark{Epoch: uint32(d.uvarint())}
+	case kindMetricsSnapshot:
+		v := MetricsSnapshot{Proc: d.i32(), Epoch: uint32(d.uvarint()), AtNs: d.varint()}
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) { // each point ≥ 1 byte
+			d.fail()
+		}
+		if d.err == nil && n > 0 {
+			v.Points = make([]MetricPoint, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				v.Points = append(v.Points, MetricPoint{Kind: d.u8(), Key: d.str(), Value: d.varint()})
+			}
+		}
+		m = v
 	default:
 		if d.err == nil {
 			d.err = fmt.Errorf("wire: unknown frame kind %d", kind)

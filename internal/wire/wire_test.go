@@ -60,6 +60,11 @@ func sampleMsgs() []Msg {
 		ResumeAck{Cum: 1<<50 + 3, Epoch: 9},
 		Restart{Epoch: 1},
 		EpochMark{Epoch: 12},
+		MetricsSnapshot{},
+		MetricsSnapshot{Proc: 7, Epoch: 3, AtNs: -12345, Points: []MetricPoint{
+			{Kind: 1, Key: `a_total{node="7"}`, Value: 1 << 40},
+			{Kind: 4, Key: "lat_ns", Value: -9},
+		}},
 	}
 }
 
