@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke bench-slice slice-smoke bench-obs
+.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke bench-slice slice-smoke bench-obs bench-live live-smoke
 
 all: check
 
@@ -74,6 +74,22 @@ chaos-smoke:
 # (see internal/expt/obs.go).
 bench-obs:
 	$(GO) run ./cmd/pcbench -obs BENCH_obs.json
+
+# Regenerate the committed live-detection record: 32-node violation-free
+# loopback clusters with the streaming GW checker dark vs lit (min
+# wall, ingest overhead), plus planted-violation runs joining each
+# confirmed detection back to the witness candidate's journal event for
+# the candidate-send→fire latency distribution (see
+# internal/expt/live.go).
+bench-live:
+	$(GO) run ./cmd/pcbench -live BENCH_live.json
+
+# CI slice of the same measurement: small cluster, few reps — exercises
+# both the violation-free lit path (a false fire fails the run) and the
+# planted-violation detection/latency join in seconds.
+live-smoke:
+	$(GO) run ./cmd/pcbench -live /tmp/live_smoke.json \
+		-live-n 8 -live-reps 2 -live-latency-runs 3
 
 # Regenerate the committed computation-slicing baseline: slice-based
 # violation enumeration vs the exhaustive lattice walk, ns/op and states

@@ -21,6 +21,12 @@
 //	                                       # off vs MetricsSnapshot frames + HTTP
 //	                                       # introspection under a polling load.
 //	                                       # -obs-n / -obs-reps scale it
+//	pcbench -live BENCH_live.json          # measure the live-detection subsystem:
+//	                                       # checker dark vs lit ingest overhead on a
+//	                                       # violation-free cluster, plus the
+//	                                       # candidate-send→confirmed-fire latency on
+//	                                       # planted-violation runs. -live-n / -live-reps /
+//	                                       # -live-latency-runs scale it
 //	pcbench -slice BENCH_slice.json        # record the computation-slicing sweep:
 //	                                       # slice vs exhaustive violation enumeration,
 //	                                       # ns/op and states explored at 1/2/4 workers
@@ -78,6 +84,10 @@ func main() {
 	obsOut := flag.String("obs", "", "write the live-observability overhead measurement (snapshots+HTTP on vs off) as JSON to this file and exit")
 	obsN := flag.Int("obs-n", 32, "obs bench: cluster size")
 	obsReps := flag.Int("obs-reps", 8, "obs bench: repetitions per mode (median wall compared)")
+	liveOut := flag.String("live", "", "write the live-detection measurement (dark-vs-lit ingest overhead + detection latency) as JSON to this file and exit")
+	liveN := flag.Int("live-n", 32, "live bench: overhead cluster size")
+	liveReps := flag.Int("live-reps", 16, "live bench: repetitions per mode (min wall compared)")
+	liveLatRuns := flag.Int("live-latency-runs", 12, "live bench: planted-violation runs for the latency distribution")
 	pre := flag.String("pre", "", "with -membaseline: embed this earlier sweep as the pre-change rows and record reductions")
 	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
 	sliceOut := flag.String("slice", "", "write the computation-slicing sweep (slice vs exhaustive detection) as JSON to this file and exit")
@@ -176,6 +186,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *obsOut)
+		return
+	}
+	if *liveOut != "" {
+		doc, err := expt.LiveJSON(expt.LiveOptions{
+			Seed: *seed, N: *liveN, Reps: *liveReps, LatencyRuns: *liveLatRuns,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("live bench: %w", err))
+		}
+		if err := os.WriteFile(*liveOut, doc, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *liveOut)
 		return
 	}
 	if *cluster != "" {

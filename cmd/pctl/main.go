@@ -14,6 +14,7 @@
 //	pctl trace   -n 3 -rounds 4 -o run-chrome.json
 //	pctl cluster -n 5 -drop 0.2 -delay 2ms -o run.json -pred-o pred.json
 //	pctl cluster -n 32 -http 127.0.0.1:7070 -trace-o cluster-chrome.json
+//	pctl cluster -n 3 -rogues 1 -live-predicate cs -on-detect reexec
 //	pctl node    -id 0 -n 3 -addrs :7001,:7002,:7003 -coord host:7000
 //	pctl top     -coord 127.0.0.1:7070 -interval 1s
 //

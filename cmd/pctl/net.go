@@ -140,6 +140,57 @@ func faultFlags(fs *flag.FlagSet) *node.Faults {
 	return f
 }
 
+// liveConfig builds the coordinator's online-detection config from the
+// -live-predicate / -on-detect / -max-reexecs flags. Only the workload's
+// own mutex predicate is nameable today; "" leaves detection dark.
+func liveConfig(name, onDetect string, maxReExecs, n int) (node.LiveConfig, error) {
+	switch name {
+	case "":
+		if onDetect != "" {
+			return node.LiveConfig{}, errors.New("-on-detect needs -live-predicate")
+		}
+		return node.LiveConfig{}, nil
+	case "cs":
+		return node.LiveConfig{
+			Predicate:  node.CSMutexPredicate(n),
+			OnDetect:   onDetect,
+			MaxReExecs: maxReExecs,
+		}, nil
+	default:
+		return node.LiveConfig{}, fmt.Errorf("unknown live predicate %q (want cs)", name)
+	}
+}
+
+// liveFlags registers the online-detection flags shared by the cluster
+// and coordinator subcommands.
+func liveFlags(fs *flag.FlagSet) (pred, onDetect *string, maxReExecs *int) {
+	pred = fs.String("live-predicate", "", "detect possibly(¬B) online while the run streams; `cs` names the workload's (n-1)-mutex predicate")
+	onDetect = fs.String("on-detect", "", "confirmed-detection response: `reexec` (auto-drive a controlled re-execution, the default) or `note` (record only)")
+	maxReExecs = fs.Int("max-reexecs", 0, "cap on detection-triggered re-executions (0 = default 1)")
+	return
+}
+
+// printDetections summarizes a run's confirmed live detections.
+func printDetections(res *node.Result) {
+	if len(res.Detections) == 0 {
+		return
+	}
+	fmt.Printf("live: %d confirmed detection(s), %d re-execution(s), final-epoch verdict fired=%v\n",
+		len(res.Detections), res.ReExecs, res.LiveFired)
+	for _, det := range res.Detections {
+		when := "mid-run"
+		if det.Final {
+			when = "closing pass"
+		}
+		act := "noted"
+		if det.ReExec {
+			act = fmt.Sprintf("re-exec ordered (%d strategy edges)", det.StrategyEdges)
+		}
+		fmt.Printf("  epoch %d: possibly(¬B) confirmed %s at %.1fms (witness node %d), %s\n",
+			det.Epoch, when, float64(det.AtNs)/1e6, det.Node, act)
+	}
+}
+
 // csPredicate is the cluster workload's control predicate B = ∨ᵢ ¬csᵢ
 // as a spec over the captured 2n-process trace (apps are 0..n-1).
 func csPredicate(n int) trace.DisjunctionSpec {
@@ -187,6 +238,8 @@ func cmdCluster(args []string) error {
 	traceOut := fs.String("trace-o", "", "write the causally-merged cluster Chrome trace here (chrome://tracing / Perfetto)")
 	faults := faultFlags(fs)
 	batching := batchFlags(fs)
+	livePred, onDetect, maxReExecs := liveFlags(fs)
+	rogueList := fs.String("rogues", "", "colon-separated ids of planted rogue nodes that enter the CS without permission (`1:2`; pair with -live-predicate to catch them)")
 	var crashes crashFlag
 	fs.Var(&crashes, "crash", "kill and relaunch a node, `at=30ms,node=1[,down=5ms]` (repeatable; recovery is a controlled re-execution)")
 	var partitions partitionFlag
@@ -196,6 +249,16 @@ func cmdCluster(args []string) error {
 	}
 	if fs.NArg() != 0 {
 		return errors.New("cluster takes no trace-file argument: it generates its own run")
+	}
+	live, err := liveConfig(*livePred, *onDetect, *maxReExecs, *n)
+	if err != nil {
+		return err
+	}
+	var rogues []int
+	if *rogueList != "" {
+		if rogues, err = parseNodeList(*rogueList); err != nil {
+			return err
+		}
 	}
 
 	j := obs.NewJournal(0)
@@ -210,6 +273,7 @@ func cmdCluster(args []string) error {
 		Faults: *faults, Batching: *batching, Journal: j, Reg: reg,
 		Crashes:  crashes.crashes,
 		HTTPAddr: *httpAddr, NodeHTTP: *nodeHTTP,
+		Live: live, Rogues: rogues,
 	})
 	if err != nil {
 		return err
@@ -228,6 +292,7 @@ func cmdCluster(args []string) error {
 		fmt.Printf("chaos: %d crash(es) scheduled, %d restart(s) ordered, %d partition window(s)\n",
 			len(crashes.crashes), res.Restarts, len(partitions.parts))
 	}
+	printDetections(res)
 	d := res.Deposet
 	fmt.Printf("captured: %d processes (%d apps + %d controllers), %d states, %d messages\n",
 		d.NumProcs(), *n, *n, d.NumStates(), len(d.Messages()))
@@ -291,9 +356,11 @@ func cmdNode(args []string) error {
 	out := fs.String("o", "", "coordinator: write the captured trace here")
 	wait := fs.Duration("wait", 2*time.Minute, "coordinator: how long to wait for the cluster")
 	rejoin := fs.Bool("rejoin", false, "node: this is the relaunch of a crashed daemon — hold execution until the coordinator's restart decision")
+	rogue := fs.Bool("rogue", false, "node: enter critical sections without permission until a Detection/ReExec broadcast (plants a live-detectable violation)")
 	httpAddr := fs.String("http", "", "serve live introspection (/metrics /statusz /healthz, pprof) on this address")
 	faults := faultFlags(fs)
 	batching := batchFlags(fs)
+	livePred, onDetect, maxReExecs := liveFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -302,11 +369,15 @@ func cmdNode(args []string) error {
 	}
 
 	if *id < 0 {
+		live, err := liveConfig(*livePred, *onDetect, *maxReExecs, *n)
+		if err != nil {
+			return err
+		}
 		j := obs.NewJournal(0)
 		reg := obs.NewRegistry()
 		c, err := node.NewCoordinator(node.CoordConfig{
 			N: *n, Addr: *coord, Journal: j, Reg: reg,
-			HTTPAddr: *httpAddr,
+			HTTPAddr: *httpAddr, Live: live,
 		})
 		if err != nil {
 			return err
@@ -326,6 +397,7 @@ func cmdNode(args []string) error {
 			handoffs += s.Handoffs
 		}
 		fmt.Printf("run: %d CS entries, %d handoffs, %d candidates\n", requests, handoffs, res.Candidates)
+		printDetections(res)
 		if err := clusterInvariants(j, reg, faults.Delay); err != nil {
 			return err
 		}
@@ -347,7 +419,7 @@ func cmdNode(args []string) error {
 		Scapegoat: *scapegoat, Broadcast: *broadcast,
 		Rounds: *rounds, Think: *think, CS: *cs,
 		Seed: *seed, Faults: *faults, Batching: *batching,
-		WaitRestart: *rejoin, HTTPAddr: *httpAddr,
+		WaitRestart: *rejoin, Rogue: *rogue, HTTPAddr: *httpAddr,
 	})
 	if err != nil {
 		return err

@@ -98,6 +98,12 @@ func renderTop(st node.CoordStatus, prev *node.CoordStatus, dt time.Duration) st
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster n=%d  epoch=%d  restarts=%d  done=%d/%d  byes=%d/%d",
 		st.N, st.Epoch, st.Restarts, st.Done, st.N, st.Byes, st.N)
+	if st.Live {
+		fmt.Fprintf(&b, "  live{det=%d reexec=%d}", st.Detections, st.ReExecs)
+		if st.LiveFired {
+			b.WriteString("  [possibly(¬B) FIRED]")
+		}
+	}
 	switch {
 	case st.Committed:
 		b.WriteString("  [committed]")
@@ -113,17 +119,22 @@ func renderTop(st node.CoordStatus, prev *node.CoordStatus, dt time.Duration) st
 		}
 	}
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "NODE\tEPOCH\tLAG(ms)\tFRAMES\tFR/S\tCANDS\tCA/S\tREQS\tHANDOFF\tRETX\tSTATE")
+	head := "NODE\tEPOCH\tLAG(ms)\tFRAMES\tFR/S\tCANDS\tCA/S"
+	if st.Live {
+		head += "\tDET\tDT/S"
+	}
+	fmt.Fprintln(w, head+"\tREQS\tHANDOFF\tRETX\tSTATE")
 	for _, row := range st.Nodes {
 		lag := "-"
 		if row.LagMs >= 0 {
 			lag = fmt.Sprintf("%.1f", row.LagMs)
 		}
 		frames := row.Metrics["predctl_wire_frames_total"]
-		frRate, caRate := "-", "-"
+		frRate, caRate, dtRate := "-", "-", "-"
 		if p, ok := prevRows[row.Node]; ok && dt > 0 {
 			frRate = fmt.Sprintf("%.0f", rate(frames-p.Metrics["predctl_wire_frames_total"], dt))
 			caRate = fmt.Sprintf("%.1f", rate(int64(row.Candidates-p.Candidates), dt))
+			dtRate = fmt.Sprintf("%.1f", rate(int64(row.Detections-p.Detections), dt))
 		}
 		state := "running"
 		switch {
@@ -132,10 +143,14 @@ func renderTop(st node.CoordStatus, prev *node.CoordStatus, dt time.Duration) st
 		case row.Done:
 			state = "done"
 		}
-		fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%s\t%d\t%s\t%d\t%d\t%d\t%s\n",
+		fmt.Fprintf(w, "%d\t%d\t%s\t%d\t%s\t%d\t%s",
 			row.Node, row.Epoch, lag,
 			frames, frRate,
-			row.Candidates, caRate,
+			row.Candidates, caRate)
+		if st.Live {
+			fmt.Fprintf(w, "\t%d\t%s", row.Detections, dtRate)
+		}
+		fmt.Fprintf(w, "\t%d\t%d\t%d\t%s\n",
 			row.Metrics["predctl_requests_total"],
 			row.Metrics["predctl_handoffs_total"],
 			row.Metrics["predctl_wire_retransmits_total"],

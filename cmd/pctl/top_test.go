@@ -62,6 +62,50 @@ func TestRenderTop(t *testing.T) {
 	if strings.Contains(third, "-1") || strings.Contains(third, "FR/S  -2") {
 		t.Fatalf("negative rate leaked through a counter reset:\n%s", third)
 	}
+
+	// A dark run (no live checker) must not grow detection columns.
+	if strings.Contains(first, "DET") || strings.Contains(first, "live{") {
+		t.Fatalf("dark run rendered live-detection columns:\n%s", first)
+	}
+}
+
+// TestRenderTopLive pins the live-detection view: the header summarizes
+// confirmed detections and re-executions, each node row carries its
+// witness tally with a rate, and a fired current-epoch verdict is
+// called out.
+func TestRenderTopLive(t *testing.T) {
+	liveSample := func(dets int) node.CoordStatus {
+		st := topSample(100, 4)
+		st.Live = true
+		st.Detections = dets
+		st.ReExecs = 1
+		st.Nodes[0].Detections = dets
+		return st
+	}
+	first := renderTop(liveSample(1), nil, 0)
+	if !strings.Contains(first, "live{det=1 reexec=1}") {
+		t.Fatalf("live summary missing from header:\n%s", first)
+	}
+	for _, col := range []string{"DET", "DT/S"} {
+		if !strings.Contains(first, col) {
+			t.Fatalf("column %q missing from live frame:\n%s", col, first)
+		}
+	}
+
+	// Two more confirmed detections over 2s → rate 1.0/s on the witness
+	// node's row.
+	prev := liveSample(1)
+	cur := liveSample(3)
+	second := renderTop(cur, &prev, 2*time.Second)
+	if !strings.Contains(second, "1.0") {
+		t.Fatalf("detection rate not computed from deltas:\n%s", second)
+	}
+
+	fired := liveSample(3)
+	fired.LiveFired = true
+	if out := renderTop(fired, nil, 0); !strings.Contains(out, "FIRED") {
+		t.Fatalf("fired verdict not called out:\n%s", out)
+	}
 }
 
 // TestTopOnce drives the subcommand end to end against a stub

@@ -1,0 +1,247 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"predctl/internal/node"
+	"predctl/internal/obs"
+)
+
+// live.go measures what online possibly(¬B) detection costs and how
+// fast it fires. Two experiments share BENCH_live.json:
+//
+//  1. Ingest overhead: the same violation-free loopback cluster run
+//     dark (no checker) and lit (the coordinator feeds every candidate
+//     through the streaming GW checker, OnDetect=note); min walls
+//     compared. The checker rides the existing candidate ingest path,
+//     so this bounds what always-on live detection adds to a run.
+//  2. Detection latency: planted-violation runs (one rogue node) where
+//     the confirmed detection record's witness interval is joined back
+//     to the node-side monitor.candidate journal event that reported
+//     it — the candidate-send→confirmed-fire latency of the whole
+//     pipeline (flush, TCP, GW trigger, prefix assembly, offline
+//     confirmation).
+//
+// cmd/pcbench -live serializes it to BENCH_live.json.
+
+// LiveOptions scales the live-detection measurement.
+type LiveOptions struct {
+	Seed   int64
+	N      int // overhead cluster size (default 32)
+	Rounds int // critical sections per node (default 16)
+	Reps   int // repetitions per mode; min wall compared (default 16)
+	// LatencyRuns is the number of planted-violation runs joined for
+	// the latency distribution (default 12).
+	LatencyRuns int
+}
+
+// LiveMeasurement aggregates one mode's repetitions.
+type LiveMeasurement struct {
+	Mode         string  `json:"mode"` // "dark" | "lit"
+	WallMsMin    float64 `json:"wallMsMin"`
+	WallMsMedian float64 `json:"wallMsMedian"`
+	WallMsMean   float64 `json:"wallMsMean"`
+	// Candidates is the last rep's ingested-candidate count — the
+	// stream volume the lit mode's checker had to absorb.
+	Candidates int `json:"candidates"`
+
+	walls []float64
+}
+
+// LiveLatency is the candidate-send→confirmed-fire distribution over
+// the planted-violation runs.
+type LiveLatency struct {
+	Runs     int `json:"runs"`
+	Detected int `json:"detected"` // runs with a mid-run confirmed detection
+	// SamplesMs are the joined per-run latencies (detection AtNs minus
+	// the witness candidate's journal timestamp), in milliseconds.
+	SamplesMs []float64 `json:"samplesMs"`
+	MedianMs  float64   `json:"medianMs"`
+	P95Ms     float64   `json:"p95Ms"`
+	MeanMs    float64   `json:"meanMs"`
+}
+
+// LiveBaseline is the serializable record (BENCH_live.json).
+type LiveBaseline struct {
+	Schema      int    `json:"schema"`
+	GoVersion   string `json:"goVersion"`
+	NumCPU      int    `json:"numCPU"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Seed        int64  `json:"seed"`
+	N           int    `json:"n"`
+	Rounds      int    `json:"rounds"`
+	Reps        int    `json:"reps"`
+	LatencyRuns int    `json:"latencyRuns"`
+	Note        string `json:"note"`
+
+	Dark LiveMeasurement `json:"dark"`
+	Lit  LiveMeasurement `json:"lit"`
+	// OverheadPct compares the minimum walls: 100 × (lit/dark − 1). The
+	// min is each mode's least-interference observation — on a shared
+	// host the medians drift with background load while the mins track
+	// the intrinsic cost.
+	OverheadPct float64 `json:"overheadPct"`
+
+	Latency LiveLatency `json:"latency"`
+}
+
+// runLiveOnce executes one measured overhead run. With lit set, the
+// coordinator runs the streaming checker over every candidate; the
+// workload is violation-free either way, so the checker's work is pure
+// overhead.
+func runLiveOnce(opts LiveOptions, lit bool) (wallMs float64, candidates int, err error) {
+	cfg := node.ClusterConfig{
+		N: opts.N, Rounds: opts.Rounds, Think: 500 * time.Microsecond, CS: 200 * time.Microsecond,
+		Seed: opts.Seed, Faults: node.Faults{Delay: clusterDelay, Seed: opts.Seed},
+		Batching:    node.Batching{Interval: clusterFlush, SnapshotEvery: -1},
+		WaitTimeout: 5 * time.Minute,
+	}
+	if lit {
+		cfg.Live = node.LiveConfig{
+			Predicate: node.CSMutexPredicate(opts.N),
+			OnDetect:  node.OnDetectNote,
+		}
+	}
+	start := time.Now()
+	res, err := node.RunCluster(cfg)
+	wall := time.Since(start)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lit && res.LiveFired {
+		// The (n−1)-mutex workload cannot put all n processes in the CS
+		// at once; a fired verdict here is a checker bug, not noise.
+		return 0, 0, fmt.Errorf("live checker fired on a violation-free run")
+	}
+	return float64(wall.Nanoseconds()) / 1e6, res.Candidates, nil
+}
+
+// measureLiveLatency runs planted-violation clusters and joins each
+// confirmed detection back to the witness candidate's node-side journal
+// event (same Start anchor, so the timestamps subtract directly).
+func measureLiveLatency(opts LiveOptions) (LiveLatency, error) {
+	lat := LiveLatency{Runs: opts.LatencyRuns}
+	for run := 0; run < opts.LatencyRuns; run++ {
+		j := obs.NewJournal(0)
+		res, err := node.RunCluster(node.ClusterConfig{
+			N: 4, Rounds: 8, Think: time.Millisecond, CS: time.Millisecond,
+			Seed: opts.Seed + int64(run)*7919, Scapegoat: 0, Rogues: []int{1},
+			Batching: node.Batching{Interval: clusterFlush, SnapshotEvery: -1},
+			Journal:  j, Live: node.LiveConfig{Predicate: node.CSMutexPredicate(4), OnDetect: node.OnDetectNote},
+			WaitTimeout: 5 * time.Minute,
+		})
+		if err != nil {
+			return lat, fmt.Errorf("latency run %d: %w", run, err)
+		}
+		for _, det := range res.Detections {
+			if det.Final {
+				continue
+			}
+			lat.Detected++
+			// The witness candidate twin: the node journaled
+			// monitor.candidate (B = HiIdx) right after sending the
+			// report that completed the checker's witness.
+			for _, ev := range j.Events() {
+				if ev.Name == obs.EvCandidate && ev.Proc == det.Node && ev.B == det.WitnessHiIdx {
+					lat.SamplesMs = append(lat.SamplesMs, float64(det.AtNs-ev.At)/1e6)
+					break
+				}
+			}
+			break // one sample per run: the first mid-run confirmation
+		}
+	}
+	if len(lat.SamplesMs) > 0 {
+		sorted := append([]float64(nil), lat.SamplesMs...)
+		sort.Float64s(sorted)
+		lat.MedianMs = sorted[len(sorted)/2]
+		lat.P95Ms = sorted[(len(sorted)*95)/100]
+		for _, s := range sorted {
+			lat.MeanMs += s / float64(len(sorted))
+		}
+	}
+	return lat, nil
+}
+
+// MeasureLive runs the overhead modes interleaved (host drift hits both
+// equally) and the latency runs, and assembles the baseline.
+func MeasureLive(opts LiveOptions) (*LiveBaseline, error) {
+	if opts.N == 0 {
+		opts.N = 32
+	}
+	if opts.Rounds == 0 {
+		opts.Rounds = 16
+	}
+	if opts.Reps == 0 {
+		opts.Reps = 16
+	}
+	if opts.LatencyRuns == 0 {
+		opts.LatencyRuns = 12
+	}
+	b := &LiveBaseline{
+		Schema:      1,
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        opts.Seed,
+		N:           opts.N,
+		Rounds:      opts.Rounds,
+		Reps:        opts.Reps,
+		LatencyRuns: opts.LatencyRuns,
+		Note: "identical violation-free loopback clusters (200µs injected mesh delay, batched capture), " +
+			"checker dark vs lit (every candidate through the streaming GW checker, OnDetect=note); " +
+			"modes interleaved per rep, min walls compared — a negative overhead means the checker " +
+			"cost is below run-to-run host noise. Latency: 4-node planted-rogue runs; each sample is " +
+			"the confirmed detection's AtNs minus the witness candidate's node-side journal timestamp " +
+			"(send→flush→TCP→GW trigger→prefix confirm). Wall times depend on the host",
+		Dark: LiveMeasurement{Mode: "dark"},
+		Lit:  LiveMeasurement{Mode: "lit"},
+	}
+	measure := func(m *LiveMeasurement, lit bool) error {
+		wall, cands, err := runLiveOnce(opts, lit)
+		if err != nil {
+			return fmt.Errorf("live bench %s: %w", m.Mode, err)
+		}
+		m.walls = append(m.walls, wall)
+		m.Candidates = cands
+		return nil
+	}
+	for rep := 0; rep < opts.Reps; rep++ {
+		if err := measure(&b.Dark, false); err != nil {
+			return nil, err
+		}
+		if err := measure(&b.Lit, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range []*LiveMeasurement{&b.Dark, &b.Lit} {
+		sort.Float64s(m.walls)
+		m.WallMsMin = m.walls[0]
+		m.WallMsMedian = m.walls[len(m.walls)/2]
+		for _, w := range m.walls {
+			m.WallMsMean += w / float64(len(m.walls))
+		}
+	}
+	b.OverheadPct = 100 * (b.Lit.WallMsMin/b.Dark.WallMsMin - 1)
+	var err error
+	if b.Latency, err = measureLiveLatency(opts); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// LiveJSON renders the measurement as the committed BENCH_live.json.
+func LiveJSON(opts LiveOptions) ([]byte, error) {
+	b, err := MeasureLive(opts)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(doc, '\n'), nil
+}

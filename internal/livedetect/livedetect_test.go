@@ -1,0 +1,154 @@
+package livedetect
+
+import (
+	"testing"
+
+	"predctl/internal/predicate"
+	"predctl/internal/wire"
+)
+
+// iv builds a 2-node interval with the given clock endpoints.
+func iv(proc int, loIdx, hiIdx int64, lo, hi []int32) Interval {
+	return Interval{Proc: proc, LoIdx: loIdx, HiIdx: hiIdx, Lo: lo, Hi: hi}
+}
+
+func TestCheckerTriggersOnConcurrentIntervals(t *testing.T) {
+	c := New(2)
+	if c.Offer(0, iv(0, 1, 2, []int32{1, 0}, []int32{2, 0})) {
+		t.Fatal("single queue must not trigger")
+	}
+	// Concurrent with proc 0's interval: neither lo dominates the
+	// other's hi component.
+	if !c.Offer(0, iv(1, 1, 2, []int32{0, 1}, []int32{0, 2})) {
+		t.Fatal("pairwise overlappable fronts must trigger")
+	}
+	if !c.Pending(0) {
+		t.Fatal("trigger must be pending confirmation")
+	}
+	w := c.Witness()
+	if len(w) != 2 || w[0].Proc != 0 || w[1].Proc != 1 {
+		t.Fatalf("witness = %+v", w)
+	}
+	if !c.Confirm(0) || c.Confirm(0) {
+		t.Fatal("confirm must succeed exactly once")
+	}
+	if !c.Fired() {
+		t.Fatal("confirmed detection must report Fired")
+	}
+}
+
+func TestCheckerEliminatesOrderedIntervals(t *testing.T) {
+	c := New(2)
+	c.Offer(0, iv(0, 1, 2, []int32{1, 0}, []int32{2, 0}))
+	// Proc 1's interval starts causally after proc 0's ended
+	// (lo[0]=3 ≥ hi[0]=2): proc 0's front is eliminated.
+	if c.Offer(0, iv(1, 1, 2, []int32{3, 1}, []int32{3, 2})) {
+		t.Fatal("causally ordered intervals must not trigger")
+	}
+	if _, dropped, _ := c.Stats(); dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if c.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1 (only proc 1's interval left)", c.Depth())
+	}
+}
+
+func TestCheckerEpochDiscardAndReplayDedup(t *testing.T) {
+	c := New(2)
+	c.Offer(0, iv(0, 1, 2, []int32{1, 0}, []int32{2, 0}))
+	// A session-resume replay of the same interval is a no-op.
+	c.Offer(0, iv(0, 1, 2, []int32{1, 0}, []int32{2, 0}))
+	if c.Depth() != 1 {
+		t.Fatalf("replayed offer duplicated the queue: depth = %d", c.Depth())
+	}
+	c.Reset(1)
+	if c.Depth() != 0 || c.Epoch() != 1 {
+		t.Fatalf("reset left depth=%d epoch=%d", c.Depth(), c.Epoch())
+	}
+	// Stale-epoch offers (the abandoned execution's stragglers) are dropped...
+	if c.Offer(0, iv(1, 1, 2, []int32{0, 1}, []int32{0, 2})) || c.Depth() != 0 {
+		t.Fatal("stale-epoch offer leaked into the checker")
+	}
+	// ...and after the reset the same state indices are acceptable again.
+	c.Offer(1, iv(0, 1, 2, []int32{1, 0}, []int32{2, 0}))
+	if !c.Offer(1, iv(1, 1, 2, []int32{0, 1}, []int32{0, 2})) {
+		t.Fatal("fresh-epoch intervals must trigger")
+	}
+}
+
+func TestCheckerForceTrigger(t *testing.T) {
+	c := New(2)
+	if c.ForceTrigger(3) {
+		t.Fatal("force-trigger for a foreign epoch must refuse")
+	}
+	if !c.ForceTrigger(0) || !c.Pending(0) {
+		t.Fatal("force-trigger must arm the pending state")
+	}
+}
+
+// prefix op-stream helpers.
+func initOp(p int) wire.TraceOp { return wire.TraceOp{Op: wire.TraceInit, Proc: int32(p), Name: "cs"} }
+func set(p, v int) wire.TraceOp {
+	return wire.TraceOp{Op: wire.TraceSet, Proc: int32(p), Name: "cs", Value: int64(v)}
+}
+func send(p int, id uint64) wire.TraceOp {
+	return wire.TraceOp{Op: wire.TraceSend, Proc: int32(p), MsgID: id}
+}
+func recv(p int, id uint64) wire.TraceOp {
+	return wire.TraceOp{Op: wire.TraceRecv, Proc: int32(p), MsgID: id}
+}
+
+func TestAssemblePrefixStopsAtUnmatchedRecv(t *testing.T) {
+	// n=1: procs 0 (app) and 1 (ctl). The ctl stream has a recv whose
+	// send is not staged yet; assemble would wedge, the prefix stops.
+	ops := [][]wire.TraceOp{
+		{initOp(0), set(0, 1)},
+		{recv(1, 42), set(1, 7)},
+	}
+	d, consumed, err := AssemblePrefix(1, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed[0] != 2 || consumed[1] != 0 {
+		t.Fatalf("consumed = %v, want [2 0]", consumed)
+	}
+	if got := d.Len(1); got != 1 {
+		t.Fatalf("ctl proc has %d states, want 1 (just ⊥)", got)
+	}
+	// Staging the send extends the prefix past the former stop.
+	ops[0] = append(ops[0], send(0, 42))
+	_, consumed, err = AssemblePrefix(1, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed[0] != 3 || consumed[1] != 2 {
+		t.Fatalf("consumed = %v, want [3 2]", consumed)
+	}
+}
+
+func TestConfirmPrefixDecidesViolation(t *testing.T) {
+	violation := predicate.And(
+		predicate.LocalVarEq(0, "cs", 1),
+		predicate.LocalVarEq(1, "cs", 1),
+	)
+	// Concurrent critical sections: no causality between the two app
+	// streams, so a cut with both cs=1 exists.
+	conc := [][]wire.TraceOp{
+		{initOp(0), set(0, 1), set(0, 0)},
+		{initOp(1), set(1, 1), set(1, 0)},
+		nil, nil,
+	}
+	if _, found, err := ConfirmPrefix(2, conc, violation); err != nil || !found {
+		t.Fatalf("concurrent CSs: found=%v err=%v, want detection", found, err)
+	}
+	// Serialized critical sections: proc 1 enters only after a message
+	// chain from proc 0's exit, so no such cut exists.
+	serial := [][]wire.TraceOp{
+		{initOp(0), set(0, 1), set(0, 0), send(0, 1)},
+		{initOp(1), recv(1, 1), set(1, 1), set(1, 0)},
+		nil, nil,
+	}
+	if _, found, err := ConfirmPrefix(2, serial, violation); err != nil || found {
+		t.Fatalf("serialized CSs: found=%v err=%v, want none", found, err)
+	}
+}

@@ -1,0 +1,87 @@
+package livedetect
+
+import (
+	"fmt"
+
+	"predctl/internal/deposet"
+	"predctl/internal/detect"
+	"predctl/internal/predicate"
+	"predctl/internal/wire"
+)
+
+// AssemblePrefix replays partially captured trace ops into the largest
+// causally closed prefix deposet they determine. It is internal/node's
+// assemble with the wedge condition inverted: mid-run, a receive whose
+// matching send has not been staged yet is not corruption — the send
+// is simply still buffered on another node — so the sweep stops that
+// process's cursor there instead of erroring, and everything after it
+// (causally later by program order) is left for the next prefix. Sends
+// with no matching receive become in-flight messages. The returned
+// consumed slice reports how many ops of each stream made the prefix.
+func AssemblePrefix(n int, opsByProc [][]wire.TraceOp) (*deposet.Deposet, []int, error) {
+	if len(opsByProc) != 2*n {
+		return nil, nil, fmt.Errorf("livedetect: prefix: %d op streams for %d processes", len(opsByProc), 2*n)
+	}
+	b := deposet.NewBuilder(2 * n)
+	handles := make(map[uint64]deposet.MsgHandle)
+	cursor := make([]int, 2*n)
+	for {
+		progress := false
+		for p := 0; p < 2*n; p++ {
+		ops:
+			for cursor[p] < len(opsByProc[p]) {
+				op := opsByProc[p][cursor[p]]
+				switch op.Op {
+				case wire.TraceInit, wire.TraceLet:
+					b.Let(p, op.Name, int(op.Value))
+				case wire.TraceStep:
+					b.Step(p)
+				case wire.TraceSet:
+					b.Step(p)
+					b.Let(p, op.Name, int(op.Value))
+				case wire.TraceSend:
+					_, h := b.Send(p)
+					if _, dup := handles[op.MsgID]; dup {
+						return nil, nil, fmt.Errorf("livedetect: prefix: duplicate trace id %#x", op.MsgID)
+					}
+					handles[op.MsgID] = h
+				case wire.TraceRecv:
+					h, ok := handles[op.MsgID]
+					if !ok {
+						break ops // send not staged yet: prefix ends here for p
+					}
+					b.Recv(p, h)
+				default:
+					return nil, nil, fmt.Errorf("livedetect: prefix: unknown trace op %d", op.Op)
+				}
+				cursor[p]++
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, cursor, nil
+}
+
+// ConfirmPrefix assembles the staged capture into its causally closed
+// prefix and decides possibly(violation) on it. Soundness: a
+// consistent cut of a prefix is a consistent cut of every extension,
+// so a cut found here exists in the completed run too. A false return
+// is not a verdict — the cut may lie beyond the current prefix — which
+// is why the caller retries as the capture grows and once more when
+// the run completes. The returned cut indexes the 2n logical processes
+// of the assembled trace.
+func ConfirmPrefix(n int, opsByProc [][]wire.TraceOp, violation predicate.Expr) (deposet.Cut, bool, error) {
+	d, _, err := AssemblePrefix(n, opsByProc)
+	if err != nil {
+		return nil, false, err
+	}
+	cut, found := detect.PossiblyGeneral(d, violation)
+	return cut, found, nil
+}

@@ -61,6 +61,14 @@ type ClusterConfig struct {
 	// NodeHTTP gives every node its own ephemeral introspection server
 	// on 127.0.0.1 (ports are logged via Logf).
 	NodeHTTP bool
+	// Live opts the coordinator into online possibly(¬B) detection
+	// while the run streams (see LiveConfig).
+	Live LiveConfig
+	// Rogues lists node ids that run with Config.Rogue set: they enter
+	// critical sections without permission until a Detection/ReExec
+	// broadcast puts them back under control — the planted violation
+	// live detection demos catch.
+	Rogues []int
 }
 
 // RunCluster executes the anti-token (n−1)-mutex workload on a cluster
@@ -98,7 +106,7 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		Journal: cfg.Journal, Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
 		Timeouts: cfg.Timeouts, Logf: cfg.Logf,
 		HTTPAddr: cfg.HTTPAddr, HTTPListener: cfg.HTTPListener,
-		Start: start,
+		Start: start, Live: cfg.Live,
 	})
 	if err != nil {
 		for _, l := range listeners {
@@ -130,6 +138,11 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	for _, cr := range cfg.Crashes {
 		if cr.Node < 0 || cr.Node >= cfg.N {
 			return nil, fmt.Errorf("node: crash schedule targets node %d of %d", cr.Node, cfg.N)
+		}
+	}
+	for _, r := range cfg.Rogues {
+		if r < 0 || r >= cfg.N {
+			return nil, fmt.Errorf("node: rogue list targets node %d of %d", r, cfg.N)
 		}
 	}
 	for i := range crashCh {
@@ -168,6 +181,11 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 				Reg:          cfg.Reg.Child(obs.L("node", strconv.Itoa(i))),
 				MetricLabels: cfg.MetricLabels,
 				Logf:         cfg.Logf, Start: start, Crash: crashCh[i],
+			}
+			for _, r := range cfg.Rogues {
+				if r == i {
+					nodeCfg.Rogue = true
+				}
 			}
 			if cfg.NodeHTTP {
 				nodeCfg.HTTPAddr = "127.0.0.1:0"

@@ -8,10 +8,15 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predctl/internal/deposet"
+	"predctl/internal/detect"
+	"predctl/internal/livedetect"
 	"predctl/internal/obs"
+	"predctl/internal/offline"
+	"predctl/internal/predicate"
 	"predctl/internal/wire"
 )
 
@@ -88,6 +93,7 @@ type coordClient struct {
 
 	shutdownEv chan uint32   // latest Shutdown{Epoch} from the coordinator (latest wins)
 	restartCh  chan uint32   // latest Restart/ResumeAck epoch from the coordinator
+	controlled atomic.Bool   // a Detection/ReExec arrived: rogue behavior must stop
 	commitCh   chan struct{} // closed on the coordinator's Commit: the run is sealed
 	commitOnce sync.Once
 	quitOnce   sync.Once
@@ -263,6 +269,17 @@ func (cc *coordClient) readLoop(conn net.Conn, br *bufio.Reader) {
 		case wire.Commit:
 			cc.signalCommit()
 		case wire.Restart:
+			cc.pushRestart(v.Epoch)
+		case wire.Detection:
+			// The coordinator confirmed possibly(¬B): whatever this node
+			// does next happens under active debugging, so a planted rogue
+			// reverts to controlled behavior from here on.
+			cc.controlled.Store(true)
+		case wire.ReExec:
+			// A detection-triggered controlled re-execution: same epoch
+			// transition as a crash-recovery Restart, but the node also
+			// knows it runs under the detection's control strategy.
+			cc.controlled.Store(true)
 			cc.pushRestart(v.Epoch)
 		case wire.ResumeAck:
 			// Only expected during resume's handshake; a stray one is
@@ -586,25 +603,28 @@ func (cc *coordClient) flush() {
 		cc.sendItems(wire.JournalBatch{Events: events[:n]}, n)
 		events = events[n:]
 	}
+	// Trace ops flush before candidates: a candidate can trigger the
+	// coordinator's live prefix confirmation, and the confirmable prefix
+	// only contains states whose ops are already staged — ops first
+	// keeps the prefix as fresh as the candidate that probes it.
+	if cc.take != nil {
+		ops := cc.take()
+		if cc.batch.PerEvent {
+			for _, op := range ops {
+				cc.send(wire.Trace{Ops: []wire.TraceOp{op}})
+			}
+		} else {
+			for len(ops) > 0 {
+				n := min(len(ops), cc.batch.MaxItems)
+				cc.sendItems(wire.TraceOpBatch{Ops: ops[:n]}, n)
+				ops = ops[n:]
+			}
+		}
+	}
 	for len(cands) > 0 {
 		n := min(len(cands), cc.batch.MaxItems)
 		cc.sendItems(wire.CandidateBatch{Cands: cands[:n]}, n)
 		cands = cands[n:]
-	}
-	if cc.take == nil {
-		return
-	}
-	ops := cc.take()
-	if cc.batch.PerEvent {
-		for _, op := range ops {
-			cc.send(wire.Trace{Ops: []wire.TraceOp{op}})
-		}
-		return
-	}
-	for len(ops) > 0 {
-		n := min(len(ops), cc.batch.MaxItems)
-		cc.sendItems(wire.TraceOpBatch{Ops: ops[:n]}, n)
-		ops = ops[n:]
 	}
 }
 
@@ -722,6 +742,77 @@ type CoordConfig struct {
 	// epoch so annotations line up with node journal timestamps. Zero
 	// means "now".
 	Start time.Time
+	// Live opts the coordinator into online detection of possibly(¬B)
+	// while the run streams. Zero value (nil Predicate) disables it.
+	Live LiveConfig
+}
+
+// LiveConfig parameterizes the live online-detection subsystem: the
+// coordinator feeds every ingested candidate to an incremental checker
+// (internal/livedetect) and, on a confirmed detection, closes the
+// paper's active-debugging loop without waiting for the run to end.
+type LiveConfig struct {
+	// Predicate is the good-state invariant B; the checker watches for
+	// possibly(¬B). Nil disables live detection entirely.
+	Predicate predicate.Expr
+	// OnDetect selects the response to a confirmed mid-run detection:
+	// OnDetectReExec (the default) broadcasts Detection + ReExec frames
+	// and drives a §8 controlled re-execution; OnDetectNote records the
+	// detection and lets the run finish undisturbed.
+	OnDetect string
+	// MaxReExecs caps detection-triggered re-executions so a violation
+	// the control strategy cannot suppress does not re-execute forever.
+	// Zero means the default of 1; negative disables re-execution.
+	MaxReExecs int
+}
+
+// OnDetect modes.
+const (
+	OnDetectReExec = "reexec"
+	OnDetectNote   = "note"
+)
+
+// CSMutexPredicate returns the cluster workload's control predicate
+// B = ∨ᵢ (csᵢ = 0) over the n application processes: at least one
+// application is outside its critical section. Its violation,
+// possibly(¬B) = "a consistent cut with every application in CS", is
+// what live detection watches the (n−1)-mutex runs for.
+func CSMutexPredicate(n int) predicate.Expr {
+	xs := make([]predicate.Expr, n)
+	for i := range xs {
+		xs[i] = predicate.LocalVarEq(i, "cs", 0)
+	}
+	return predicate.Or(xs...)
+}
+
+// DetectionRecord is one confirmed live detection as the run's history
+// keeps it (detections survive epoch discards like annotations do: they
+// describe what really happened, which re-execution does not rewrite).
+type DetectionRecord struct {
+	// Epoch is the execution epoch the detection fired in.
+	Epoch uint32 `json:"epoch"`
+	// Node is the node whose candidate completed the streaming witness,
+	// or -1 when only the commit-time closing pass found the cut.
+	Node int `json:"node"`
+	// AtNs is when the confirmation landed, relative to the run start.
+	AtNs int64 `json:"at_ns"`
+	// Cut is the confirmed consistent cut — one consumed-state index per
+	// logical process (apps 0..n-1, controllers n..2n-1).
+	Cut []int64 `json:"cut"`
+	// WitnessHiIdx is the last traced app-state index of the triggering
+	// candidate interval (latency attribution joins it with the node's
+	// monitor.candidate journal event).
+	WitnessHiIdx int64 `json:"witness_hi_idx"`
+	// StrategyEdges counts the added synchronization edges of the
+	// control strategy computed on the confirmed prefix (0 when the
+	// off-line algorithm found none or failed).
+	StrategyEdges int `json:"strategy_edges"`
+	// Final marks a detection found only by the commit-time closing
+	// pass rather than strictly mid-run.
+	Final bool `json:"final"`
+	// ReExec marks a detection that triggered a controlled
+	// re-execution.
+	ReExec bool `json:"reexec"`
 }
 
 // Result is a completed cluster run as the coordinator saw it.
@@ -740,6 +831,18 @@ type Result struct {
 	// Restarts counts the controlled re-execution restarts the
 	// coordinator ordered (crashed-node rejoins).
 	Restarts int
+	// Detections is the live checker's confirmed possibly(¬B) history
+	// across every epoch, in confirmation order. Empty when live
+	// detection was off or nothing fired.
+	Detections []DetectionRecord
+	// LiveFired reports whether the live checker confirmed possibly(¬B)
+	// for the final epoch. Because commit runs a closing confirmation
+	// pass over the complete final-epoch capture, this coincides exactly
+	// with the offline detect.PossiblyGeneral verdict on Deposet.
+	LiveFired bool
+	// ReExecs counts detection-triggered controlled re-executions
+	// (disjoint from Restarts, which counts crash recoveries).
+	ReExecs int
 }
 
 // nodeSession is the coordinator's per-node-id stream state. It
@@ -847,17 +950,28 @@ type Coordinator struct {
 	live *obs.Registry
 	insp *obs.Introspection
 
-	mu        sync.Mutex
-	sessions  map[int]*nodeSession
-	stats     []Stats
-	epoch     uint32 // cluster re-execution epoch
-	restarts  int
-	doneSeen  []bool
-	byeSeen   []bool
-	doneCount int
-	byeCount  int
-	conns     map[int]*coordConn
-	annots    []obs.Event // cluster-level annotations (chaos, epoch bumps)
+	// Live online detection (nil ld when CoordConfig.Live is off):
+	// every ingested candidate feeds ld; a trigger runs the prefix
+	// confirmation, a confirmation fires the OnDetect response.
+	ld        *livedetect.Checker
+	liveCfg   LiveConfig
+	violation predicate.Expr // ¬B, precomputed from Live.Predicate
+	detMeter  *obs.Counter
+
+	mu         sync.Mutex
+	sessions   map[int]*nodeSession
+	stats      []Stats
+	epoch      uint32 // cluster re-execution epoch
+	restarts   int
+	reexecs    int               // detection-triggered re-executions
+	detections []DetectionRecord // confirmed live detections, all epochs
+	detByNode  []int             // confirmed detections per witness node
+	doneSeen   []bool
+	byeSeen    []bool
+	doneCount  int
+	byeCount   int
+	conns      map[int]*coordConn
+	annots     []obs.Event // cluster-level annotations (chaos, epoch bumps)
 
 	// shutdownMu serializes the run's terminal decisions — Shutdown
 	// broadcast, Commit broadcast, restart-on-rejoin, and the state
@@ -914,6 +1028,24 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		conns:    map[int]*coordConn{},
 		allByes:  make(chan struct{}),
 		closed:   make(chan struct{}),
+	}
+	if cfg.Live.Predicate != nil {
+		lc := cfg.Live
+		if lc.OnDetect == "" {
+			lc.OnDetect = OnDetectReExec
+		}
+		if lc.OnDetect != OnDetectReExec && lc.OnDetect != OnDetectNote {
+			ln.Close()
+			return nil, fmt.Errorf("node: coordinator: unknown OnDetect mode %q", lc.OnDetect)
+		}
+		if lc.MaxReExecs == 0 {
+			lc.MaxReExecs = 1
+		}
+		c.liveCfg = lc
+		c.violation = predicate.Not(lc.Predicate)
+		c.ld = livedetect.New(cfg.N)
+		c.detMeter = cfg.Reg.Counter("predctl_live_detections_total", cfg.MetricLabels...)
+		c.detByNode = make([]int, cfg.N)
 	}
 	if cfg.HTTPAddr != "" || cfg.HTTPListener != nil {
 		insp, err := obs.ServeIntrospection(obs.IntrospectionConfig{
@@ -977,6 +1109,8 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 	}
 	stats := append([]Stats(nil), c.stats...)
 	epoch, restarts := c.epoch, c.restarts
+	reexecs := c.reexecs
+	dets := append([]DetectionRecord(nil), c.detections...)
 	annots := append([]obs.Event(nil), c.annots...)
 	c.mu.Unlock()
 	sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
@@ -1017,6 +1151,9 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 		Candidates: candidates,
 		Epoch:      epoch,
 		Restarts:   restarts,
+		Detections: dets,
+		LiveFired:  c.ld != nil && c.ld.Fired(),
+		ReExecs:    reexecs,
 	}, nil
 }
 
@@ -1138,6 +1275,15 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 		st.mu.Unlock()
 		st.ingestMu.Unlock()
 		c.attach(id, conn)
+		// A relaunched (or late-joining) node missed any Detection
+		// broadcast: replay the latest so a planted rogue knows it now
+		// runs under active debugging.
+		if last := c.lastReExecDetection(); last != nil {
+			conn.writeFrame(c.opt, wire.Detection{
+				Epoch: last.Epoch, Node: int32(last.Node),
+				AtNs: last.AtNs, Cut: last.Cut,
+			})
+		}
 		if rejoin {
 			// Until Commit, a rejoin always restarts — even one landing
 			// between the Shutdown broadcast and the last bye: the
@@ -1145,6 +1291,23 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 			// alternative (refusing the relaunch) would strand the byes
 			// the dead incarnation never sent.
 			c.restartClusterLocked(id)
+		} else {
+			c.mu.Lock()
+			e := c.epoch
+			c.mu.Unlock()
+			if e > 0 {
+				// First Hello from a node whose initial dial was delayed
+				// past a restart decision (a partition window can hold
+				// the dial campaign while a crash-rejoin bumps the
+				// epoch): it never heard the Restart broadcast — it was
+				// not connected — so catch it up directly. It has
+				// executed nothing, so the in-flight re-execution stays
+				// valid; this node just starts it late. Without this the
+				// node runs epoch 0 forever against peers at epoch e and
+				// the run never completes.
+				c.logf("coordinator: node %d joined late; catching up to epoch %d", id, e)
+				conn.writeFrame(c.opt, wire.Restart{Epoch: e})
+			}
 		}
 		c.shutdownMu.Unlock()
 	case wire.Resume:
@@ -1171,6 +1334,19 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 		epoch := c.epoch
 		c.mu.Unlock()
 		err := conn.writeFrame(c.opt, wire.ResumeAck{Cum: cum, Epoch: epoch})
+		if err == nil {
+			// A node that was disconnected across a detection-triggered
+			// re-execution missed the Detection broadcast; replay the
+			// latest one so the node (a planted rogue in particular) knows
+			// it now runs under active debugging. The ReExec's epoch
+			// transition is already covered by the ResumeAck epoch.
+			if last := c.lastReExecDetection(); last != nil {
+				err = conn.writeFrame(c.opt, wire.Detection{
+					Epoch: last.Epoch, Node: int32(last.Node),
+					AtNs: last.AtNs, Cut: last.Cut,
+				})
+			}
+		}
 		if err == nil && c.shutdown {
 			// The node missed the broadcast while disconnected; replay it
 			// so it can bye.
@@ -1250,8 +1426,24 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 			c.broadcastShutdown(epoch)
 		case actAllByes:
 			c.commitRun(epoch)
+		case actDetected:
+			c.fireDetection(st.id)
 		}
 	}
+}
+
+// lastReExecDetection returns the most recent detection that drove a
+// re-execution, or nil. Handshake paths replay it to connections that
+// were not attached when the Detection broadcast went out.
+func (c *Coordinator) lastReExecDetection() *DetectionRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.detections) - 1; i >= 0; i-- {
+		if c.detections[i].ReExec {
+			return &c.detections[i]
+		}
+	}
+	return nil
 }
 
 // restartClusterLocked runs the §8 controlled re-execution decision
@@ -1273,6 +1465,11 @@ func (c *Coordinator) restartClusterLocked(id int) {
 	}
 	conns := c.snapshotConnsLocked()
 	c.mu.Unlock()
+	if c.ld != nil {
+		// The abandoned epoch's candidates must not seed a detection in
+		// the re-execution.
+		c.ld.Reset(e)
+	}
 	c.logf("coordinator: node %d rejoined; restarting cluster at epoch %d", id, e)
 	c.Annotate(obs.EvEpochRestart, int64(id), int64(e))
 	c.broadcast(conns, wire.Restart{Epoch: e}, "restart")
@@ -1309,9 +1506,10 @@ func (c *Coordinator) broadcast(conns map[int]*coordConn, m wire.Msg, what strin
 type ingestAction int
 
 const (
-	actNone    ingestAction = iota
-	actAllDone              // every Done for the returned epoch is in: broadcast Shutdown
-	actAllByes              // every bye for the returned epoch is in: commit the run
+	actNone     ingestAction = iota
+	actAllDone               // every Done for the returned epoch is in: broadcast Shutdown
+	actAllByes               // every bye for the returned epoch is in: commit the run
+	actDetected              // the live checker triggered: run the prefix confirmation
 )
 
 // ingest folds one frame from a node's stream into the coordinator
@@ -1358,10 +1556,16 @@ func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32)
 		// don't already label themselves.
 		c.live.ApplySnapshot(toObsPoints(v.Points), obs.L("node", strconv.Itoa(st.id)))
 	case wire.Candidate:
-		c.ingestCandidate(st, v)
+		if c.ingestCandidate(st, v) {
+			return actDetected, 0
+		}
 	case wire.CandidateBatch:
+		det := false
 		for _, cand := range v.Cands {
-			c.ingestCandidate(st, cand)
+			det = c.ingestCandidate(st, cand) || det
+		}
+		if det {
+			return actDetected, 0
 		}
 	case wire.EpochMark:
 		st.mu.Lock()
@@ -1370,7 +1574,8 @@ func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32)
 		}
 		st.mu.Unlock()
 		c.mu.Lock()
-		if v.Epoch > c.epoch {
+		adopted := v.Epoch > c.epoch
+		if adopted {
 			// A mark above our epoch means we are the one missing state —
 			// a restarted coordinator rebuilding from session replays.
 			// Adopt it and recount completion from the replayed streams.
@@ -1382,6 +1587,11 @@ func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32)
 			}
 		}
 		c.mu.Unlock()
+		if adopted && c.ld != nil {
+			// The checker's epoch follows the cluster epoch, including
+			// one adopted from a replayed stream.
+			c.ld.Reset(v.Epoch)
+		}
 	case wire.Done:
 		st.mu.Lock()
 		se := st.epoch
@@ -1469,15 +1679,23 @@ func (c *Coordinator) sessionsSorted() []*nodeSession {
 // completion state plus one row per attached node — what `pctl top`
 // renders.
 type CoordStatus struct {
-	N         int               `json:"n"`
-	Epoch     uint32            `json:"epoch"`
-	Restarts  int               `json:"restarts"`
-	Done      int               `json:"done"`
-	Byes      int               `json:"byes"`
-	Shutdown  bool              `json:"shutdown"`
-	Committed bool              `json:"committed"`
-	UptimeMs  int64             `json:"uptime_ms"`
-	Nodes     []CoordNodeStatus `json:"nodes"`
+	N         int    `json:"n"`
+	Epoch     uint32 `json:"epoch"`
+	Restarts  int    `json:"restarts"`
+	Done      int    `json:"done"`
+	Byes      int    `json:"byes"`
+	Shutdown  bool   `json:"shutdown"`
+	Committed bool   `json:"committed"`
+	UptimeMs  int64  `json:"uptime_ms"`
+	// Live reports whether online detection is enabled; Detections is
+	// the confirmed-detection count across all epochs, LiveFired whether
+	// the current epoch has a confirmed detection, and ReExecs the
+	// detection-triggered re-executions ordered so far.
+	Live       bool              `json:"live"`
+	Detections int               `json:"detections"`
+	LiveFired  bool              `json:"live_fired"`
+	ReExecs    int               `json:"reexecs"`
+	Nodes      []CoordNodeStatus `json:"nodes"`
 }
 
 // CoordNodeStatus is one node's row in CoordStatus.
@@ -1486,8 +1704,11 @@ type CoordNodeStatus struct {
 	Epoch      uint32 `json:"epoch"` // the stream's epoch (last EpochMark)
 	LastSeq    uint64 `json:"last_seq"`
 	Candidates int    `json:"candidates"`
-	Done       bool   `json:"done"`
-	Bye        bool   `json:"bye"`
+	// Detections counts confirmed live detections whose streaming
+	// witness this node's candidate completed.
+	Detections int  `json:"detections"`
+	Done       bool `json:"done"`
+	Bye        bool `json:"bye"`
 	// LagMs is the age of the node's last metrics snapshot; -1 until
 	// one arrives.
 	LagMs float64 `json:"lag_ms"`
@@ -1505,11 +1726,18 @@ func (c *Coordinator) Status() CoordStatus {
 	s := CoordStatus{
 		N: c.n, Epoch: c.epoch, Restarts: c.restarts,
 		Done: c.doneCount, Byes: c.byeCount,
-		UptimeMs: now.Sub(c.start).Milliseconds(),
+		UptimeMs:   now.Sub(c.start).Milliseconds(),
+		Live:       c.ld != nil,
+		Detections: len(c.detections),
+		ReExecs:    c.reexecs,
 	}
 	doneSeen := append([]bool(nil), c.doneSeen...)
 	byeSeen := append([]bool(nil), c.byeSeen...)
+	detByNode := append([]int(nil), c.detByNode...)
 	c.mu.Unlock()
+	if c.ld != nil {
+		s.LiveFired = c.ld.Fired()
+	}
 	c.shutdownMu.Lock()
 	s.Shutdown, s.Committed = c.shutdown, c.committed
 	c.shutdownMu.Unlock()
@@ -1526,6 +1754,9 @@ func (c *Coordinator) Status() CoordStatus {
 		st.mu.Unlock()
 		if st.id >= 0 && st.id < len(doneSeen) {
 			row.Done, row.Bye = doneSeen[st.id], byeSeen[st.id]
+		}
+		if st.id >= 0 && st.id < len(detByNode) {
+			row.Detections = detByNode[st.id]
 		}
 		s.Nodes = append(s.Nodes, row)
 	}
@@ -1554,15 +1785,173 @@ func (c *Coordinator) AnnotateAt(atNs int64, name string, a, b int64) {
 	c.mu.Unlock()
 }
 
-func (c *Coordinator) ingestCandidate(st *nodeSession, v wire.Candidate) {
+// ingestCandidate stages one candidate report and, when live detection
+// is on, offers it to the incremental checker at the stream's epoch (so
+// an abandoned execution's stragglers are discarded, not believed). It
+// reports whether the caller owes a prefix-confirmation pass. The
+// candidate's journal event is emitted node-side (with a real
+// timestamp) rather than synthesized here.
+func (c *Coordinator) ingestCandidate(st *nodeSession, v wire.Candidate) bool {
 	c.cands.Inc()
 	st.mu.Lock()
 	st.cands++
-	st.events = append(st.events, obs.Event{
-		Proc: int(v.Proc), Kind: obs.KindControl, Name: "monitor.candidate",
-		A: v.LoIdx, B: v.HiIdx, VC: v.Hi,
-	})
+	e := st.epoch
 	st.mu.Unlock()
+	if c.ld == nil {
+		return false
+	}
+	return c.ld.Offer(e, livedetect.Interval{
+		Proc: int(v.Proc), LoIdx: v.LoIdx, HiIdx: v.HiIdx, Lo: v.Lo, Hi: v.Hi,
+	})
+}
+
+// stagedOps snapshots every session's staged capture for epoch e,
+// grouped by logical process — the input to the live prefix
+// confirmation. Sessions still at an older epoch contribute nothing:
+// their ops predate the EpochMark that will void them.
+func (c *Coordinator) stagedOps(e uint32) [][]wire.TraceOp {
+	byProc := make([][]wire.TraceOp, 2*c.n)
+	for _, st := range c.sessionsSorted() {
+		st.mu.Lock()
+		if st.epoch == e {
+			for _, op := range st.ops {
+				if p := int(op.Proc); p >= 0 && p < 2*c.n {
+					byProc[p] = append(byProc[p], op)
+				}
+			}
+		}
+		st.mu.Unlock()
+	}
+	return byProc
+}
+
+// fireDetection runs the confirming stage after the streaming checker
+// triggered: assemble the staged capture's causally closed prefix and
+// decide possibly(¬B) on it for real. Like the other terminal
+// decisions it runs under shutdownMu and revalidates — a trigger a
+// concurrent restart just voided dies here instead of firing into the
+// wrong epoch. witness is the node whose frame carried the triggering
+// candidate (display attribution only; the record prefers the
+// checker's own triggering interval).
+func (c *Coordinator) fireDetection(witness int) {
+	c.shutdownMu.Lock()
+	defer c.shutdownMu.Unlock()
+	if c.ld == nil || c.committed {
+		return
+	}
+	c.mu.Lock()
+	e := c.epoch
+	c.mu.Unlock()
+	if !c.ld.Pending(e) {
+		return // superseded by a restart, or already confirmed
+	}
+	c.confirmLocked(e, witness, false)
+}
+
+// confirmLocked decides possibly(¬B) on epoch e's captured prefix and,
+// when a consistent cut is found, records the detection and fires the
+// OnDetect response. A not-found is not a verdict — the cut may lie
+// beyond the current prefix, so the trigger stays pending and later
+// candidates retry on the grown capture. Caller holds shutdownMu.
+func (c *Coordinator) confirmLocked(e uint32, witness int, final bool) {
+	d, _, err := livedetect.AssemblePrefix(c.n, c.stagedOps(e))
+	if err != nil {
+		c.logf("coordinator: live confirm: %v", err)
+		return
+	}
+	cut, found := detect.PossiblyGeneral(d, c.violation)
+	if !found {
+		return
+	}
+	if !c.ld.Confirm(e) {
+		return // a concurrent confirmer won, or the epoch moved on
+	}
+	rec := DetectionRecord{
+		Epoch: e, Node: witness, AtNs: time.Since(c.start).Nanoseconds(),
+		Cut: cutToInt64(cut), Final: final,
+	}
+	if iv, ok := c.ld.Trigger(); ok {
+		rec.Node, rec.WitnessHiIdx = iv.Proc, iv.HiIdx
+	}
+	// The active-debugging payload: §4's off-line control algorithm on
+	// the confirmed prefix yields the synchronization strategy the
+	// controlled re-execution would drive the run through. Failure to
+	// find one (¬B may be uncontrollable) downgrades the response to a
+	// plain uncontrolled re-execution, it does not suppress the
+	// detection.
+	if rel, _, err := offline.ControlGeneral(d, c.liveCfg.Predicate); err == nil {
+		rec.StrategyEdges = len(rel)
+	} else {
+		c.logf("coordinator: live detection: no control strategy: %v", err)
+	}
+	c.mu.Lock()
+	canReExec := !final && c.liveCfg.OnDetect == OnDetectReExec && c.reexecs < c.liveCfg.MaxReExecs
+	rec.ReExec = canReExec
+	c.detections = append(c.detections, rec)
+	if rec.Node >= 0 && rec.Node < len(c.detByNode) {
+		c.detByNode[rec.Node]++
+	}
+	c.mu.Unlock()
+	c.detMeter.Inc()
+	c.Annotate(obs.EvDetect, int64(rec.Node), int64(e))
+	c.logf("coordinator: live detection: possibly(¬B) confirmed at epoch %d (witness node %d, cut %v)",
+		e, rec.Node, cut)
+	if canReExec {
+		c.reexecClusterLocked(rec)
+	}
+}
+
+// reexecClusterLocked is restartClusterLocked's detection-triggered
+// twin — the paper's active-debugging response, driven automatically:
+// void the epoch the violation was observed in, announce the detection
+// (Detection frame, so every node knows it now runs under control) and
+// order the §8 controlled re-execution (ReExec frame, which nodes
+// treat as a Restart). Caller holds shutdownMu.
+func (c *Coordinator) reexecClusterLocked(rec DetectionRecord) {
+	c.shutdown = false
+	c.mu.Lock()
+	c.epoch++
+	c.reexecs++
+	ne := c.epoch
+	c.doneCount, c.byeCount = 0, 0
+	for i := range c.doneSeen {
+		c.doneSeen[i] = false
+		c.byeSeen[i] = false
+	}
+	conns := c.snapshotConnsLocked()
+	c.mu.Unlock()
+	c.ld.Reset(ne)
+	c.logf("coordinator: detection at epoch %d: controlled re-execution at epoch %d (%d strategy edges)",
+		rec.Epoch, ne, rec.StrategyEdges)
+	c.Annotate(obs.EvEpochReExec, int64(rec.Node), int64(ne))
+	c.broadcast(conns, wire.Detection{
+		Epoch: rec.Epoch, Node: int32(rec.Node), AtNs: rec.AtNs, Cut: rec.Cut,
+	}, "detection")
+	c.broadcast(conns, wire.ReExec{Epoch: ne, Edges: uint32(rec.StrategyEdges)}, "reexec")
+}
+
+// finalLiveLocked is the commit-time closing pass: force the trigger
+// and confirm once more on the complete final-epoch capture, so the
+// live verdict coincides exactly with the offline decision on the
+// assembled trace — the streaming stage's conservatism (node-level
+// clocks over-approximate causality) cannot cost a detection, only
+// immediacy. The run is complete, so the pass never re-executes.
+// Caller holds shutdownMu.
+func (c *Coordinator) finalLiveLocked(e uint32) {
+	if c.ld == nil {
+		return
+	}
+	if c.ld.ForceTrigger(e) {
+		c.confirmLocked(e, -1, true)
+	}
+}
+
+func cutToInt64(cut deposet.Cut) []int64 {
+	out := make([]int64, len(cut))
+	for i, v := range cut {
+		out[i] = int64(v)
+	}
+	return out
 }
 
 // IngestBench replays pre-encoded frame bodies through the
@@ -1636,5 +2025,14 @@ func (c *Coordinator) commitRun(e uint32) {
 	}
 	c.committed = true
 	c.broadcast(conns, wire.Commit{}, "commit")
+	// Closing live pass after the Commit goes out but before allByes
+	// releases Wait: every bye is in, so the staged capture is the
+	// complete final-epoch trace, and one last confirmation makes the
+	// live verdict coincide with offline detection on the assembled
+	// run. Running it after the broadcast overlaps the confirm with the
+	// nodes' teardown; the record can't be observed partially because
+	// Wait blocks on allByes below (and no restart can void it — the
+	// seal is already set, and shutdownMu is held throughout).
+	c.finalLiveLocked(e)
 	c.byeOnce.Do(func() { close(c.allByes) })
 }

@@ -163,8 +163,10 @@ func TestCoordinatorConcurrentBatchIngest(t *testing.T) {
 		t.Errorf("ingested %d candidates, want %d", res.Candidates, 2*n)
 	}
 	// Journal completeness: each node sent 5 batch events (one per op
-	// chunk) + 1 single event + 2 candidate-report events.
-	want := n * 8
+	// chunk) + 1 single event. Candidate reports no longer synthesize
+	// journal events coordinator-side — real nodes journal their own
+	// monitor.candidate twin with an actual emission timestamp.
+	want := n * 6
 	if j.Len() != want {
 		t.Errorf("merged journal has %d events, want %d", j.Len(), want)
 	}

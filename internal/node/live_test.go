@@ -1,0 +1,185 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"predctl/internal/detect"
+	"predctl/internal/livedetect"
+	"predctl/internal/obs"
+	"predctl/internal/predicate"
+	"predctl/internal/wire"
+)
+
+// TestLiveDetectionPlantedViolation is the subsystem's headline test:
+// a rogue node enters critical sections without permission, the live
+// checker confirms possibly(¬B) strictly mid-run, the coordinator
+// auto-drives a §8 controlled re-execution, and the re-executed run —
+// the one the capture keeps — satisfies every invariant.
+func TestLiveDetectionPlantedViolation(t *testing.T) {
+	const n, rounds = 3, 6
+	res, j, _ := runTestCluster(t, ClusterConfig{
+		N: n, Rounds: rounds, Think: 2 * time.Millisecond, CS: 3 * time.Millisecond,
+		Seed: 21, Scapegoat: 1, Rogues: []int{1}, Timeouts: testTimeouts(),
+		Live: LiveConfig{Predicate: CSMutexPredicate(n)},
+	})
+	if len(res.Detections) == 0 {
+		t.Fatal("planted violation produced no detection")
+	}
+	first := res.Detections[0]
+	if first.Final {
+		t.Fatal("detection only fired in the closing pass, not mid-run")
+	}
+	if !first.ReExec || res.ReExecs != 1 {
+		t.Fatalf("detection did not drive a re-execution: %+v (reexecs %d)", first, res.ReExecs)
+	}
+	if first.Epoch != 0 || res.Epoch != 1 {
+		t.Fatalf("epochs: detection at %d, run completed at %d; want 0 and 1", first.Epoch, res.Epoch)
+	}
+	if len(first.Cut) != 2*n {
+		t.Fatalf("detection cut spans %d processes, want %d", len(first.Cut), 2*n)
+	}
+	// The re-execution put the rogue back under control, so the final
+	// trace and journal are a controlled run's: live detection must NOT
+	// fire for the final epoch, offline detection must find nothing,
+	// and the protocol invariants hold.
+	if res.LiveFired {
+		t.Fatal("live verdict still fired for the re-executed epoch")
+	}
+	checkControlled(t, res.Deposet, n)
+	var rep obs.Report
+	rep.CheckScapegoatChainNet(j)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The rogue behaved in the final epoch: full request tallies.
+	for i, s := range res.Stats {
+		if s.Requests != rounds {
+			t.Errorf("node %d made %d requests in the final epoch, want %d", i, s.Requests, rounds)
+		}
+	}
+	// The detection survives in the merged journal's annotations.
+	found := 0
+	for _, e := range j.Events() {
+		if e.Name == obs.EvDetect {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Errorf("journal has %d %s annotations, want 1", found, obs.EvDetect)
+	}
+}
+
+// TestLiveCandidateEpochDiscard pins the checker's epoch discipline at
+// the ingest layer: a restart bumps the checker past the stream, the
+// abandoned epoch's straggler candidates are dropped (they must not
+// seed a detection in the re-execution), the EpochMark zeroes the
+// session's bare candidate counter, and fresh-epoch candidates are
+// believed again.
+func TestLiveCandidateEpochDiscard(t *testing.T) {
+	c := &Coordinator{
+		n: 2, logf: func(string, ...any) {},
+		sessions: map[int]*nodeSession{},
+		stats:    make([]Stats, 2),
+		doneSeen: make([]bool, 2), byeSeen: make([]bool, 2),
+		ld:        livedetect.New(2),
+		liveCfg:   LiveConfig{Predicate: CSMutexPredicate(2), OnDetect: OnDetectNote, MaxReExecs: 1},
+		violation: predicate.Not(CSMutexPredicate(2)),
+		detByNode: make([]int, 2),
+	}
+	st := &nodeSession{id: 0}
+	cand := wire.Candidate{Proc: 0, LoIdx: 1, HiIdx: 2, Lo: []int32{1, 0}, Hi: []int32{2, 0}}
+	if act, _ := c.ingest(st, wire.CandidateBatch{Cands: []wire.Candidate{cand}}); act != actNone {
+		t.Fatalf("half a witness triggered action %v", act)
+	}
+	if st.cands != 1 || c.ld.Depth() != 1 {
+		t.Fatalf("staged cands=%d depth=%d, want 1 and 1", st.cands, c.ld.Depth())
+	}
+
+	// A restart decision moves the cluster (and checker) to epoch 1
+	// while the stream still runs epoch 0: its stragglers are stale.
+	c.epoch = 1
+	c.ld.Reset(1)
+	if act, _ := c.ingest(st, wire.Candidate{Proc: 1, LoIdx: 1, HiIdx: 2, Lo: []int32{0, 1}, Hi: []int32{0, 2}}); act != actNone {
+		t.Fatalf("stale-epoch candidate triggered action %v", act)
+	}
+	if c.ld.Depth() != 0 {
+		t.Fatalf("stale-epoch candidate leaked into the checker (depth %d)", c.ld.Depth())
+	}
+	if _, _, stale := c.ld.Stats(); stale != 1 {
+		t.Fatalf("stale counter = %d, want 1", stale)
+	}
+
+	// The stream's EpochMark discards its staging — including the bare
+	// candidate counter — and re-arms it for the new epoch.
+	c.ingest(st, wire.EpochMark{Epoch: 1})
+	if st.cands != 0 {
+		t.Fatalf("EpochMark left st.cands = %d, want 0", st.cands)
+	}
+	if st.epoch != 1 {
+		t.Fatalf("EpochMark left stream epoch %d, want 1", st.epoch)
+	}
+	// Fresh-epoch candidates count and are believed: a concurrent pair
+	// completes the GW witness and demands confirmation.
+	c.ingest(st, wire.CandidateBatch{Cands: []wire.Candidate{cand}})
+	act, _ := c.ingest(st, wire.Candidate{Proc: 1, LoIdx: 1, HiIdx: 2, Lo: []int32{0, 1}, Hi: []int32{0, 2}})
+	if act != actDetected {
+		t.Fatalf("fresh-epoch witness produced action %v, want actDetected", act)
+	}
+	if st.cands != 2 {
+		t.Fatalf("fresh-epoch cands = %d, want 2", st.cands)
+	}
+}
+
+// TestLiveVerdictMatchesOffline is the zero-divergence property test:
+// across many seeded loopback runs — rogue and clean, with crashes and
+// coordinator-stream partitions forcing session-resume replays — the
+// live subsystem's verdict must coincide exactly with running the
+// offline detector over the reassembled deposet. OnDetect is "note" so
+// rogues stay rogue and the final-epoch trace is the one the checker
+// judged.
+func TestLiveVerdictMatchesOffline(t *testing.T) {
+	const n = 3
+	runs := 100
+	if testing.Short() {
+		runs = 25
+	}
+	violation := predicate.Not(CSMutexPredicate(n))
+	for seed := 0; seed < runs; seed++ {
+		cfg := ClusterConfig{
+			N: n, Rounds: 2, Think: 800 * time.Microsecond, CS: 600 * time.Microsecond,
+			Seed: int64(seed), Scapegoat: seed % n, Timeouts: chaosTimeouts(),
+			Live: LiveConfig{Predicate: CSMutexPredicate(n), OnDetect: OnDetectNote},
+		}
+		// Roughly half the runs plant a rogue (sometimes two), so both
+		// verdicts are exercised; the scapegoat rotates independently.
+		switch seed % 4 {
+		case 1:
+			cfg.Rogues = []int{seed % n}
+		case 3:
+			cfg.Rogues = []int{seed % n, (seed + 1) % n}
+		}
+		// Every 5th run crashes a node (a controlled re-execution
+		// restart resets the checker); every 7th severs a coordinator
+		// stream (the resume replay re-offers candidate frames).
+		if seed%5 == 2 {
+			cfg.Crashes = []Crash{{At: 2 * time.Millisecond, Node: (seed + 1) % n, Down: 2 * time.Millisecond}}
+		}
+		if seed%7 == 3 {
+			cfg.Faults.Partitions = []Partition{{
+				Start: time.Millisecond, Dur: 4 * time.Millisecond,
+				A: []int{seed % n}, B: []int{seed % n}, Coord: true,
+			}}
+			cfg.Faults.Seed = int64(seed)
+		}
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			res, _, _ := runTestCluster(t, cfg)
+			_, offline := detect.PossiblyGeneral(res.Deposet, violation)
+			if res.LiveFired != offline {
+				t.Errorf("seed %d (rogues %v, epoch %d): live verdict %v, offline %v",
+					seed, cfg.Rogues, res.Epoch, res.LiveFired, offline)
+			}
+		})
+	}
+}

@@ -97,6 +97,16 @@ type Config struct {
 	// /statusz (NodeStatus), /healthz, /debug/pprof/.
 	HTTPAddr     string
 	HTTPListener net.Listener
+	// Rogue plants a protocol violation for live detection to catch:
+	// the application enters its critical sections without the
+	// mayFalse/grant handshake (and never reports NowTrue), so its
+	// controller believes the local predicate stayed true while the CS
+	// overlaps everyone else's. The candidate stream still reports the
+	// false-intervals faithfully — the monitor observes the application,
+	// it does not police it. A rogue reverts to controlled behavior the
+	// moment the coordinator's Detection/ReExec broadcast arrives, so a
+	// detection-triggered re-execution satisfies the invariants.
+	Rogue bool
 	// WaitRestart marks this Run as the relaunch of a crashed node: it
 	// holds off executing until the coordinator's restart decision
 	// arrives and starts directly at the fresh epoch. Without it a
@@ -646,33 +656,41 @@ func (nd *node) application() {
 	for r := 0; r < nd.cfg.Rounds; r++ {
 		nd.sleepThink(rng)
 
-		// RequestFalse: mayFalse to the controller, block on the grant.
-		// Both local hops abort cleanly on restart/crash — the grant may
-		// never come once the epoch is abandoned.
-		begin := time.Now()
-		id := nd.cap.msgID(nd.app)
-		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: id})
-		select {
-		case nd.ctlIn <- localInput{kind: locMayFalse, id: id}:
-		case <-nd.abort:
-			return
-		}
-		var g grantMsg
-		select {
-		case g = <-nd.grantCh:
-		case <-nd.abort:
-			return
-		}
-		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceRecv, Proc: int32(nd.app), MsgID: g.id})
-		d := time.Since(begin)
-		nd.statsMu.Lock()
-		nd.stats.Requests++
-		nd.stats.Responses = append(nd.stats.Responses, d)
-		nd.statsMu.Unlock()
-		nd.m.requests.Inc()
-		nd.m.resp.Observe(d.Nanoseconds())
-		if g.handoff {
-			nd.m.respHandoff.Observe(d.Nanoseconds())
+		// A rogue skips the permission protocol entirely — no mayFalse,
+		// no grant, no NowTrue — until a Detection/ReExec broadcast puts
+		// the node back under control. Its controller keeps believing the
+		// local predicate is true, which is exactly the planted violation
+		// the live checker exists to catch.
+		rogue := nd.cfg.Rogue && !nd.cc.controlled.Load()
+		if !rogue {
+			// RequestFalse: mayFalse to the controller, block on the grant.
+			// Both local hops abort cleanly on restart/crash — the grant may
+			// never come once the epoch is abandoned.
+			begin := time.Now()
+			id := nd.cap.msgID(nd.app)
+			nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: id})
+			select {
+			case nd.ctlIn <- localInput{kind: locMayFalse, id: id}:
+			case <-nd.abort:
+				return
+			}
+			var g grantMsg
+			select {
+			case g = <-nd.grantCh:
+			case <-nd.abort:
+				return
+			}
+			nd.cap.appendApp(wire.TraceOp{Op: wire.TraceRecv, Proc: int32(nd.app), MsgID: g.id})
+			d := time.Since(begin)
+			nd.statsMu.Lock()
+			nd.stats.Requests++
+			nd.stats.Responses = append(nd.stats.Responses, d)
+			nd.statsMu.Unlock()
+			nd.m.requests.Inc()
+			nd.m.resp.Observe(d.Nanoseconds())
+			if g.handoff {
+				nd.m.respHandoff.Observe(d.Nanoseconds())
+			}
 		}
 
 		// Critical section: cs=1 is the false-interval of ¬cs.
@@ -686,14 +704,20 @@ func (nd *node) application() {
 		nd.cc.sendCandidate(wire.Candidate{
 			Proc: int32(nd.app), LoIdx: int64(loIdx), HiIdx: int64(hiIdx), Lo: lo, Hi: hi,
 		})
+		// The candidate's journal twin carries the real emission time;
+		// detection-latency measurement joins it (by state indices)
+		// against the coordinator's detect.fired timestamp.
+		nd.journalCtl(nd.app, obs.KindControl, obs.EvCandidate, int64(loIdx), int64(hiIdx), 0, hi)
 
-		// NowTrue: the local predicate holds again (A2 at the end).
-		tid := nd.cap.msgID(nd.app)
-		nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: tid})
-		select {
-		case nd.ctlIn <- localInput{kind: locNowTrue, id: tid}:
-		case <-nd.abort:
-			return
+		if !rogue {
+			// NowTrue: the local predicate holds again (A2 at the end).
+			tid := nd.cap.msgID(nd.app)
+			nd.cap.appendApp(wire.TraceOp{Op: wire.TraceSend, Proc: int32(nd.app), MsgID: tid})
+			select {
+			case nd.ctlIn <- localInput{kind: locNowTrue, id: tid}:
+			case <-nd.abort:
+				return
+			}
 		}
 	}
 	close(nd.appDone)

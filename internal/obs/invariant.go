@@ -38,6 +38,18 @@ const (
 	EvEpochRestart = "epoch.restart"
 	// EvChaosCrash marks an injected crash; A is the crashed node.
 	EvChaosCrash = "chaos.crash"
+	// EvCandidate marks a node flushing a candidate interval to the
+	// coordinator's live checker; A and B are the interval's first and
+	// last traced state indices.
+	EvCandidate = "monitor.candidate"
+	// EvDetect marks a live possibly(¬B) detection confirmed on the
+	// captured prefix; A is the node whose candidate completed the
+	// witness (-1 for the commit-time closing pass), B the epoch it
+	// fired in.
+	EvDetect = "detect.fired"
+	// EvEpochReExec marks a detection-triggered controlled
+	// re-execution; A is the witness node, B the fresh epoch.
+	EvEpochReExec = "epoch.reexec"
 	// EvPartitionOpen / EvPartitionHeal bracket an injected network
 	// partition; A and B are the partitioned node pair (A < B), or -1
 	// for "all links of A".

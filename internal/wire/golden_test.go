@@ -70,6 +70,8 @@ var goldenFrames = []struct {
 		{Kind: 2, Key: `predctl_epoch`, Value: 2},
 		{Kind: 5, Key: `predctl_response_ns`, Value: -1},
 	}}},
+	{"19_detection", 19, Detection{Epoch: 1, Node: 2, AtNs: 7_250_000, Cut: []int64{3, -1, 4, 0, 2, 1}}},
+	{"20_reexec", 0, ReExec{Epoch: 2, Edges: 5}},
 }
 
 func goldenPath(name string) string {
@@ -112,7 +114,7 @@ func TestGoldenFrames(t *testing.T) {
 	for _, g := range goldenFrames {
 		kinds[g.msg.wireKind()] = true
 	}
-	for k := kindHello; k <= kindMetricsSnapshot; k++ {
+	for k := kindHello; k <= kindReExec; k++ {
 		if !kinds[k] {
 			t.Errorf("frame kind %d has no golden fixture", k)
 		}

@@ -47,7 +47,8 @@ const maxVC = 1 << 16
 // Msg is one decoded protocol message. The set is closed (sealed by the
 // unexported method): Hello, LinkAck, Ctl, App, Candidate, JournalEvent,
 // Trace, Done, Shutdown, JournalBatch, TraceOpBatch, CandidateBatch,
-// Resume, ResumeAck, Restart, EpochMark, Commit, MetricsSnapshot.
+// Resume, ResumeAck, Restart, EpochMark, Commit, MetricsSnapshot,
+// Detection, ReExec.
 type Msg interface{ wireKind() byte }
 
 // Frame kinds (the body's second byte).
@@ -70,6 +71,8 @@ const (
 	kindEpochMark
 	kindCommit
 	kindMetricsSnapshot
+	kindDetection
+	kindReExec
 )
 
 // CtlKind is a controller-to-controller handoff message kind, mirroring
@@ -309,6 +312,32 @@ type MetricsSnapshot struct {
 	Points []MetricPoint
 }
 
+// Detection is the coordinator's broadcast that the live checker
+// confirmed possibly(¬B) mid-run: Epoch is the epoch the witness
+// belongs to, Node the node whose candidate completed it, AtNs the
+// coordinator's nanoseconds since run start at confirmation, and Cut
+// the witness global state as one traced state index per logical
+// process of the assembled prefix. Nodes treat it as advisory (journal
+// + switch a planted rogue back to controlled behavior); the restart
+// order, if any, follows as a ReExec frame.
+type Detection struct {
+	Epoch uint32
+	Node  int32
+	AtNs  int64
+	Cut   []int64
+}
+
+// ReExec orders the §8 controlled re-execution that closes the
+// active-debugging loop after a live detection: nodes handle it exactly
+// like Restart (reset links, mark the new epoch, re-run the workload
+// under control), with Edges carrying the size of the control strategy
+// the coordinator computed on the detecting prefix (0 when control was
+// infeasible on the prefix).
+type ReExec struct {
+	Epoch uint32
+	Edges uint32
+}
+
 func (Hello) wireKind() byte           { return kindHello }
 func (LinkAck) wireKind() byte         { return kindLinkAck }
 func (Ctl) wireKind() byte             { return kindCtl }
@@ -327,6 +356,8 @@ func (Restart) wireKind() byte         { return kindRestart }
 func (EpochMark) wireKind() byte       { return kindEpochMark }
 func (Commit) wireKind() byte          { return kindCommit }
 func (MetricsSnapshot) wireKind() byte { return kindMetricsSnapshot }
+func (Detection) wireKind() byte       { return kindDetection }
+func (ReExec) wireKind() byte          { return kindReExec }
 
 // --- encoding ---
 
@@ -478,6 +509,17 @@ func AppendBody(dst []byte, seq uint64, m Msg) []byte {
 			dst = appendString(dst, p.Key)
 			dst = appendVarint(dst, p.Value)
 		}
+	case Detection:
+		dst = appendUvarint(dst, uint64(v.Epoch))
+		dst = appendVarint(dst, int64(v.Node))
+		dst = appendVarint(dst, v.AtNs)
+		dst = appendUvarint(dst, uint64(len(v.Cut)))
+		for _, s := range v.Cut {
+			dst = appendVarint(dst, s)
+		}
+	case ReExec:
+		dst = appendUvarint(dst, uint64(v.Epoch))
+		dst = appendUvarint(dst, uint64(v.Edges))
 	default:
 		panic(fmt.Sprintf("wire: unknown message type %T", m))
 	}
@@ -771,6 +813,21 @@ func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
 			}
 		}
 		m = v
+	case kindDetection:
+		v := Detection{Epoch: uint32(d.uvarint()), Node: d.i32(), AtNs: d.varint()}
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) { // each entry ≥ 1 byte
+			d.fail()
+		}
+		if d.err == nil && n > 0 {
+			v.Cut = make([]int64, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				v.Cut = append(v.Cut, d.varint())
+			}
+		}
+		m = v
+	case kindReExec:
+		m = ReExec{Epoch: uint32(d.uvarint()), Edges: uint32(d.uvarint())}
 	default:
 		if d.err == nil {
 			d.err = fmt.Errorf("wire: unknown frame kind %d", kind)

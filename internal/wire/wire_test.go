@@ -65,6 +65,10 @@ func sampleMsgs() []Msg {
 			{Kind: 1, Key: `a_total{node="7"}`, Value: 1 << 40},
 			{Kind: 4, Key: "lat_ns", Value: -9},
 		}},
+		Detection{},
+		Detection{Epoch: 3, Node: -1, AtNs: 9_000_000, Cut: []int64{1, 0, -1, 7}},
+		ReExec{Epoch: 1},
+		ReExec{Epoch: 6, Edges: 12},
 	}
 }
 
