@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke bench-slice slice-smoke bench-obs bench-live live-smoke
+.PHONY: all build vet test race check bench bench-mem bench-mem-baseline baseline bench-cluster bench-chaos chaos-smoke bench-slice slice-smoke bench-obs bench-live live-smoke bench-relay relay-smoke
 
 all: check
 
@@ -38,12 +38,22 @@ baseline:
 	$(GO) run ./cmd/pcbench -baseline BENCH_baseline.json
 
 # Regenerate the committed cluster baseline: real in-process clusters
-# over loopback TCP at 8..128 nodes, per-event vs batched capture
-# framing, plus the coordinator ingest micro-benchmark (see
+# over loopback TCP at 8..128 nodes flat (per-event vs batched capture
+# framing), 256/512 nodes flat vs a 2-level relay tree (plus an
+# on-disk trace-store row with bundle-reassembly verification), and
+# the coordinator ingest micro-benchmark in all three framings (see
 # internal/expt/cluster.go). Every run must end with the paper
 # invariants green.
 bench-cluster:
 	$(GO) run ./cmd/pcbench -cluster BENCH_cluster.json
+
+# Hierarchical-ingest gate: 64 nodes through a 2-level relay tree with
+# one relay killed mid-run — full capture, zero restarts, the paper
+# invariants, and live-verdict agreement with offline detection all
+# required (see internal/expt/relay.go). The relay-smoke CI job runs
+# exactly this; seconds, not minutes.
+bench-relay relay-smoke:
+	$(GO) run ./cmd/pcbench -relay-smoke
 
 # Regenerate the committed allocation baseline. -pre embeds an earlier
 # sweep (measured on the pre-optimization tree) so the JSON records the

@@ -9,7 +9,9 @@
 //	pcbench -baseline BENCH_baseline.json  # record the parallel-engine baseline
 //	pcbench -membaseline BENCH_memory.json # record the allocation baseline
 //	pcbench -cluster BENCH_cluster.json    # record the networked-runtime sweep
-//	                                       # (real loopback clusters, 8..128 nodes)
+//	                                       # (real loopback clusters, 8..128 nodes
+//	                                       # flat, plus 256/512 through a 2-level
+//	                                       # relay tree and an on-disk-store row)
 //	pcbench -chaos BENCH_chaos.json        # 60s crash/partition soak with controlled
 //	                                       # re-execution recovery; exits 1 unless every
 //	                                       # run ends with zero lost capture and the
@@ -32,6 +34,11 @@
 //	                                       # ns/op and states explored at 1/2/4 workers
 //	pcbench -slice-smoke                   # slice-vs-exhaustive cross-validation on
 //	                                       # seeded traces; exits 1 on any mismatch
+//	pcbench -relay-smoke                   # hierarchical-ingest smoke: 64 nodes
+//	                                       # through a 2-level relay tree with one
+//	                                       # relay killed mid-run; full capture,
+//	                                       # invariants, and live-verdict agreement
+//	                                       # required; exits 1 on any failure
 //	pcbench -membaseline X -pre OLD.json   # ... embedding OLD as the pre-change rows
 //	pcbench -compare BENCH_memory.json     # diff a fresh sweep against the file;
 //	                                       # exits 1 on allocs/op or ns/op regression
@@ -92,6 +99,7 @@ func main() {
 	compare := flag.String("compare", "", "compare this baseline JSON against a fresh sweep (or a second file argument); exit 1 on regression")
 	sliceOut := flag.String("slice", "", "write the computation-slicing sweep (slice vs exhaustive detection) as JSON to this file and exit")
 	sliceSmoke := flag.Bool("slice-smoke", false, "cross-validate sliced detection against the exhaustive oracle on seeded traces; exit 1 on any mismatch")
+	relaySmoke := flag.Bool("relay-smoke", false, "run the hierarchical-ingest smoke: a 2-level relay tree with a mid-run relay kill, gated on full capture, invariants, and live-verdict agreement; exit 1 on any failure")
 	metrics := flag.Bool("metrics", false, "run the instrumented protocol sweep and dump its metrics in Prometheus text format")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -136,6 +144,14 @@ func main() {
 		verdict, err := expt.SliceSmoke(*seed)
 		if err != nil {
 			fatal(fmt.Errorf("slice smoke: %w", err))
+		}
+		fmt.Println(verdict)
+		return
+	}
+	if *relaySmoke {
+		verdict, err := expt.RelaySmoke(*seed)
+		if err != nil {
+			fatal(fmt.Errorf("relay smoke: %w", err))
 		}
 		fmt.Println(verdict)
 		return

@@ -1,0 +1,148 @@
+package main
+
+// bundle.go: `pctl bundle` works with sealed capture bundles — the
+// self-contained directory (manifest + checksummed segments) a
+// coordinator run with -store-dir leaves behind. `verify` checks the
+// manifest against the segment bytes, `export` reassembles the
+// final-epoch deposet into the trace JSON the offline commands consume,
+// and `trace` renders the bundle's journal as a Chrome trace.
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"predctl/internal/node"
+	"predctl/internal/obs"
+	"predctl/internal/store"
+	"predctl/internal/wire"
+)
+
+func cmdBundle(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: pctl bundle <verify|export|trace> [flags] <dir>")
+	}
+	switch args[0] {
+	case "verify":
+		return cmdBundleVerify(args[1:])
+	case "export":
+		return cmdBundleExport(args[1:])
+	case "trace":
+		return cmdBundleTrace(args[1:])
+	}
+	return fmt.Errorf("unknown bundle command %q (want verify, export, trace)", args[0])
+}
+
+func bundleDirArg(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", errors.New("expected exactly one bundle directory argument")
+	}
+	return fs.Arg(0), nil
+}
+
+// cmdBundleVerify re-reads every segment, checks each record's CRC and
+// the per-segment totals against the manifest, and prints the summary.
+// Exit status is the verification verdict, so CI can gate on it.
+func cmdBundleVerify(args []string) error {
+	fs := flag.NewFlagSet("bundle verify", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := bundleDirArg(fs)
+	if err != nil {
+		return err
+	}
+	man, err := store.Verify(dir)
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	var bytes int64
+	var records int
+	for _, seg := range man.Segments {
+		bytes += seg.Bytes
+		records += seg.Records
+	}
+	fmt.Printf("bundle %s ok: n=%d epoch=%d, %d segment(s), %d record(s), %d bytes, checksums verified\n",
+		dir, man.N, man.Epoch, len(man.Segments), records, bytes)
+	return nil
+}
+
+// cmdBundleExport reassembles the bundle's final-epoch deposet and
+// writes it as trace JSON — the file pctl detect/control/replay take.
+func cmdBundleExport(args []string) error {
+	fs := flag.NewFlagSet("bundle export", flag.ContinueOnError)
+	out := fs.String("o", "trace.json", "output trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := bundleDirArg(fs)
+	if err != nil {
+		return err
+	}
+	d, man, err := node.AssembleBundle(dir)
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	if err := writeTrace(*out, d, nil); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (n=%d epoch=%d, %d processes, %d states)\n",
+		*out, man.N, man.Epoch, d.NumProcs(), d.NumStates())
+	return nil
+}
+
+// cmdBundleTrace rebuilds the run's journal from the bundle's
+// final-epoch JournalEvent records and renders it as the same merged
+// Chrome trace `pctl cluster -trace-o` writes live.
+func cmdBundleTrace(args []string) error {
+	fs := flag.NewFlagSet("bundle trace", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir, err := bundleDirArg(fs)
+	if err != nil {
+		return err
+	}
+	j := obs.NewJournal(0)
+	appendEvent := func(e wire.JournalEvent) {
+		j.Append(obs.Event{
+			At: e.At, Proc: int(e.Proc), Kind: obs.Kind(e.Kind), Name: e.Name,
+			A: e.A, B: e.B, C: e.C, VC: e.VC,
+		})
+	}
+	man, err := store.Verify(dir)
+	if err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	if _, err := store.ReplayBundle(dir, func(rec wire.SegmentRecord, _ uint64, m wire.Msg) error {
+		if rec.Epoch != man.Epoch {
+			return nil // voided by a controlled re-execution
+		}
+		switch v := m.(type) {
+		case wire.JournalEvent:
+			appendEvent(v)
+		case wire.JournalBatch:
+			for _, e := range v.Events {
+				appendEvent(e)
+			}
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("bundle %s: %w", dir, err)
+	}
+	doc, err := obs.ClusterTrace(j, obs.ClusterTraceOptions{N: man.N})
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err := os.Stdout.Write(doc)
+		return err
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (merged cluster trace, %d journal events)\n", *out, j.Len())
+	return nil
+}

@@ -15,8 +15,11 @@
 //	pctl cluster -n 5 -drop 0.2 -delay 2ms -o run.json -pred-o pred.json
 //	pctl cluster -n 32 -http 127.0.0.1:7070 -trace-o cluster-chrome.json
 //	pctl cluster -n 3 -rogues 1 -live-predicate cs -on-detect reexec
+//	pctl cluster -n 64 -relays 4 -store-dir run-bundle
 //	pctl node    -id 0 -n 3 -addrs :7001,:7002,:7003 -coord host:7000
 //	pctl top     -coord 127.0.0.1:7070 -interval 1s
+//	pctl bundle  verify run-bundle
+//	pctl bundle  export -o trace.json run-bundle
 //
 // Trace files are the JSON format of predctl's trace package; predicate
 // files describe B = l1 ∨ … ∨ ln over state variables:
@@ -54,7 +57,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return errors.New("usage: pctl <gen|info|detect|control|replay|sgsd|reduce|trace|cluster|node|top> [flags] [trace.json]")
+		return errors.New("usage: pctl <gen|info|detect|control|replay|sgsd|reduce|trace|cluster|node|top|bundle> [flags] [trace.json]")
 	}
 	switch args[0] {
 	case "gen":
@@ -79,6 +82,8 @@ func run(args []string) error {
 		return cmdNode(args[1:])
 	case "top":
 		return cmdTop(args[1:])
+	case "bundle":
+		return cmdBundle(args[1:])
 	}
 	return fmt.Errorf("unknown command %q", args[0])
 }

@@ -88,9 +88,11 @@ func TestCLIDispatch(t *testing.T) {
 	subcommands := []string{
 		"gen", "info", "detect", "control", "replay", "sgsd", "reduce",
 		"trace", "cluster", "node",
+		"bundle verify", "bundle export", "bundle trace",
 	}
 	for _, name := range subcommands {
-		if _, err := runCLI(t, name, "-h"); !errors.Is(err, flag.ErrHelp) {
+		args := append(strings.Fields(name), "-h")
+		if _, err := runCLI(t, args...); !errors.Is(err, flag.ErrHelp) {
 			t.Errorf("%s -h: got %v, want flag.ErrHelp (subcommand not dispatched?)", name, err)
 		}
 	}
@@ -137,6 +139,62 @@ func TestCLIErrors(t *testing.T) {
 	}
 	if err := run([]string{"detect", "-pred", "/nope.json", "/also/nope.json"}); err == nil {
 		t.Error("missing files accepted")
+	}
+}
+
+// TestCLIBundle drives the tree-and-store path end to end: a cluster
+// run through relays with capture spilled to disk, then the sealed
+// bundle verified, exported back to trace JSON, rendered as a Chrome
+// trace, and fed through `pctl detect` — the offline loop working from
+// disk instead of the live capture.
+func TestCLIBundle(t *testing.T) {
+	dir := t.TempDir()
+	bundleDir := filepath.Join(dir, "bundle")
+	traceFile := filepath.Join(dir, "exported.json")
+	predFile := filepath.Join(dir, "pred.json")
+
+	out, err := runCLI(t, "cluster", "-n", "4", "-rounds", "2",
+		"-think", "1ms", "-cs", "500us",
+		"-relays", "2", "-store-dir", bundleDir, "-pred-o", predFile)
+	if err != nil {
+		t.Fatalf("cluster -relays -store-dir: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "tree: 2 relays") || !strings.Contains(out, "bundle: sealed") {
+		t.Fatalf("cluster did not report the tree/bundle:\n%s", out)
+	}
+
+	out, err = runCLI(t, "bundle", "verify", bundleDir)
+	if err != nil || !strings.Contains(out, "checksums verified") {
+		t.Fatalf("bundle verify: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "bundle", "export", "-o", traceFile, bundleDir)
+	if err != nil || !strings.Contains(out, "wrote") {
+		t.Fatalf("bundle export: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "bundle", "trace", bundleDir)
+	if err != nil || !strings.Contains(out, "traceEvents") {
+		t.Fatalf("bundle trace: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "detect", "-pred", predFile, traceFile)
+	if err != nil {
+		t.Fatalf("detect on exported bundle trace: %v\n%s", err, out)
+	}
+
+	// A flipped byte in a segment must fail verification loudly.
+	segs, err := filepath.Glob(filepath.Join(bundleDir, "seg-*.pcseg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in bundle: %v", err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "bundle", "verify", bundleDir); err == nil {
+		t.Fatal("bundle verify accepted a corrupted segment")
 	}
 }
 

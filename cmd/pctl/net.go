@@ -240,12 +240,19 @@ func cmdCluster(args []string) error {
 	batching := batchFlags(fs)
 	livePred, onDetect, maxReExecs := liveFlags(fs)
 	rogueList := fs.String("rogues", "", "colon-separated ids of planted rogue nodes that enter the CS without permission (`1:2`; pair with -live-predicate to catch them)")
+	relays := fs.Int("relays", 0, "shard coordinator ingest into a 2-level aggregation tree of this many relays (0 = flat, every node dials the root)")
+	storeDir := fs.String("store-dir", "", "spill staged capture to an on-disk segment store here; the commit seals it into a verifiable bundle (pctl bundle)")
 	var crashes crashFlag
 	fs.Var(&crashes, "crash", "kill and relaunch a node, `at=30ms,node=1[,down=5ms]` (repeatable; recovery is a controlled re-execution)")
+	var relayCrashes crashFlag
+	fs.Var(&relayCrashes, "relay-crash", "kill and relaunch a relay, `at=30ms,node=1[,down=5ms]` (repeatable; node is the relay index; heals like a stream sever)")
 	var partitions partitionFlag
 	fs.Var(&partitions, "partition", "open a partition window, `start=20ms,dur=40ms,a=0:1[,b=2:3][,coord]` (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if len(relayCrashes.crashes) > 0 && *relays == 0 {
+		return errors.New("-relay-crash needs -relays")
 	}
 	if fs.NArg() != 0 {
 		return errors.New("cluster takes no trace-file argument: it generates its own run")
@@ -271,8 +278,11 @@ func cmdCluster(args []string) error {
 		N: *n, Rounds: *rounds, Think: *think, CS: *cs,
 		Broadcast: *broadcast, Scapegoat: *scapegoat, Seed: *seed,
 		Faults: *faults, Batching: *batching, Journal: j, Reg: reg,
-		Crashes:  crashes.crashes,
-		HTTPAddr: *httpAddr, NodeHTTP: *nodeHTTP,
+		Crashes:      crashes.crashes,
+		Relays:       *relays,
+		RelayCrashes: relayCrashes.crashes,
+		StoreDir:     *storeDir,
+		HTTPAddr:     *httpAddr, NodeHTTP: *nodeHTTP,
 		Live: live, Rogues: rogues,
 	})
 	if err != nil {
@@ -288,6 +298,10 @@ func cmdCluster(args []string) error {
 		*n, *rounds, *seed, *broadcast, faults.Drop, faults.Dup, faults.Delay)
 	fmt.Printf("run: %d CS entries, %d handoffs, %d ctl messages, %d candidates\n",
 		requests, handoffs, ctl, res.Candidates)
+	if *relays > 0 {
+		fmt.Printf("tree: %d relays, root served %d stream conns, %d frames, %d bytes\n",
+			*relays, res.RootConns, res.RootFrames, res.RootBytes)
+	}
 	if len(crashes.crashes) > 0 || len(partitions.parts) > 0 {
 		fmt.Printf("chaos: %d crash(es) scheduled, %d restart(s) ordered, %d partition window(s)\n",
 			len(crashes.crashes), res.Restarts, len(partitions.parts))
@@ -296,6 +310,9 @@ func cmdCluster(args []string) error {
 	d := res.Deposet
 	fmt.Printf("captured: %d processes (%d apps + %d controllers), %d states, %d messages\n",
 		d.NumProcs(), *n, *n, d.NumStates(), len(d.Messages()))
+	if *storeDir != "" {
+		fmt.Printf("bundle: sealed at %s (pctl bundle verify %s)\n", *storeDir, *storeDir)
+	}
 
 	if *timeline > 0 {
 		fmt.Print(obs.Timeline(j, *timeline))

@@ -110,7 +110,24 @@ func renderTop(st node.CoordStatus, prev *node.CoordStatus, dt time.Duration) st
 	case st.Shutdown:
 		b.WriteString("  [shutdown]")
 	}
+	if st.StoreSegments > 0 {
+		fmt.Fprintf(&b, "  store{segs=%d bytes=%d}", st.StoreSegments, st.StoreBytes)
+	}
 	fmt.Fprintf(&b, "  up %s\n", (time.Duration(st.UptimeMs) * time.Millisecond).Round(time.Millisecond))
+
+	if len(st.Relays) > 0 {
+		rw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(rw, "RELAY\tFANIN\tFRAMES\tITEMS\tSEQ\tLAG(ms)")
+		for _, r := range st.Relays {
+			lag := "-"
+			if r.LagMs >= 0 {
+				lag = fmt.Sprintf("%.1f", r.LagMs)
+			}
+			fmt.Fprintf(rw, "%d\t%d\t%d\t%d\t%d\t%s\n",
+				r.Relay, r.FanIn, r.Frames, r.Items, r.LastSeq, lag)
+		}
+		rw.Flush()
+	}
 
 	prevRows := map[int]node.CoordNodeStatus{}
 	if prev != nil {

@@ -1,0 +1,73 @@
+package expt
+
+import "sort"
+
+// ab.go is the shared dark-vs-lit harness. Three benches in this
+// package compare the same workload run in a baseline and an
+// instrumented mode — live.go (checker dark vs lit), obs.go (snapshots
+// off vs on+http), cluster.go (in-RAM staging vs the disk-backed trace
+// store) — and they all want the same mechanics: modes interleaved per
+// rep so host drift hits both equally, walls accumulated per mode, and
+// min/median/mean summarized at the end. The helpers here hold that
+// logic once; each bench keeps only its own workload and extra
+// counters.
+
+// WallStats accumulates one mode's wall-clock observations and
+// summarizes them. Embed it in a measurement row; the JSON field names
+// match the committed BENCH_*.json baselines.
+type WallStats struct {
+	WallMsMin    float64 `json:"wallMsMin"`
+	WallMsMedian float64 `json:"wallMsMedian"`
+	WallMsMean   float64 `json:"wallMsMean"`
+
+	walls []float64
+}
+
+// observe records one repetition's wall time.
+func (w *WallStats) observe(wallMs float64) { w.walls = append(w.walls, wallMs) }
+
+// summarize fills the min/median/mean fields from the observations.
+func (w *WallStats) summarize() {
+	if len(w.walls) == 0 {
+		return
+	}
+	sorted := append([]float64(nil), w.walls...)
+	sort.Float64s(sorted)
+	w.WallMsMin = sorted[0]
+	w.WallMsMedian = sorted[len(sorted)/2]
+	w.WallMsMean = 0
+	for _, v := range sorted {
+		w.WallMsMean += v / float64(len(sorted))
+	}
+}
+
+// interleaveAB runs reps baseline/instrumented pairs, alternating the
+// modes within every rep, and summarizes both stat sets. Each run
+// function executes its workload once and returns the wall time it
+// wants recorded; extra per-mode counters stay in the closures.
+func interleaveAB(reps int, dark, lit func() (wallMs float64, err error), darkW, litW *WallStats) error {
+	for rep := 0; rep < reps; rep++ {
+		wall, err := dark()
+		if err != nil {
+			return err
+		}
+		darkW.observe(wall)
+		if wall, err = lit(); err != nil {
+			return err
+		}
+		litW.observe(wall)
+	}
+	darkW.summarize()
+	litW.summarize()
+	return nil
+}
+
+// pctOverhead is the harness's comparison verdict: 100 × (lit/dark − 1)
+// on whichever summary statistic the bench compares (min for intrinsic
+// cost, median for robustness against scheduler outliers).
+func pctOverhead(lit, dark float64) float64 {
+	if dark == 0 {
+		return 0
+	}
+	return 100 * (lit/dark - 1)
+}

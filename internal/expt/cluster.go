@@ -1,14 +1,18 @@
 package expt
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"predctl/internal/node"
 	"predctl/internal/obs"
+	"predctl/internal/store"
+	"predctl/internal/trace"
 	"predctl/internal/wire"
 )
 
@@ -23,10 +27,15 @@ import (
 // ClusterMeasurement is one cluster run's row. Coord* count the
 // capture-stream traffic (what batching targets); Mesh* the node↔node
 // protocol traffic, whose frame count is latency-bound and does not
-// batch, but whose writes coalesce.
+// batch, but whose writes coalesce. Root* meter the coordinator's own
+// ingest load — with a relay tree they diverge from Coord* (which sums
+// every capture stream, node→relay hops included).
 type ClusterMeasurement struct {
 	N    int    `json:"n"`
-	Mode string `json:"mode"` // "per-event" | "batched"
+	Mode string `json:"mode"` // "per-event" | "batched" | "tree" | "tree+store"
+	// Relays is the aggregation-tree width (0 = flat, every node dials
+	// the root directly).
+	Relays int `json:"relays,omitempty"`
 
 	WallMs float64 `json:"wallMs"`
 
@@ -36,6 +45,23 @@ type ClusterMeasurement struct {
 	MeshFrames     int64   `json:"meshFrames"`
 	MeshBytes      int64   `json:"meshBytes"`
 	MeshBatchMean  float64 `json:"meshBatchMean"` // frames per coalesced link write
+
+	// RootConns counts stream handshakes the root accepted (O(relays)
+	// in a tree, O(n) flat); RootFrames/RootBytes what it read off them.
+	RootConns  int64 `json:"rootConns"`
+	RootFrames int64 `json:"rootFrames"`
+	RootBytes  int64 `json:"rootBytes"`
+
+	// HeapHighKB is the process heap high-water (HeapInuse sampled
+	// through the run, post-GC baseline subtracted) — what the store
+	// rows bound by spilling staged capture to disk.
+	HeapHighKB int64 `json:"heapHighKB"`
+	// StoreSegments/StoreBytes describe the sealed bundle (store rows).
+	StoreSegments int   `json:"storeSegments,omitempty"`
+	StoreBytes    int64 `json:"storeBytes,omitempty"`
+	// BundleTraceIdentical reports that reassembling the sealed bundle
+	// from disk reproduced the run's trace byte-for-byte (store rows).
+	BundleTraceIdentical bool `json:"bundleTraceIdentical,omitempty"`
 
 	Requests   int `json:"requests"`
 	Handoffs   int `json:"handoffs"`
@@ -72,8 +98,13 @@ type ClusterBaseline struct {
 	Results []ClusterMeasurement `json:"results"`
 	// CoordFrameReduction maps "n=<N>" to per-event/batched coordinator
 	// frame counts — the frames-per-run win batching buys.
-	CoordFrameReduction map[string]float64  `json:"coordFrameReduction"`
-	Ingest              []IngestMeasurement `json:"ingest"`
+	CoordFrameReduction map[string]float64 `json:"coordFrameReduction"`
+	// TreeConnReduction/TreeFrameReduction map "n=<N>" to flat/tree
+	// ratios of root connections and root-ingested frames — what the
+	// aggregation tree takes off the coordinator.
+	TreeConnReduction  map[string]float64  `json:"treeConnReduction,omitempty"`
+	TreeFrameReduction map[string]float64  `json:"treeFrameReduction,omitempty"`
+	Ingest             []IngestMeasurement `json:"ingest"`
 	// IngestAllocReduction is 1 − batched/per-event ingest allocs/item.
 	IngestAllocReduction float64 `json:"ingestAllocReduction"`
 }
@@ -82,6 +113,43 @@ type ClusterBaseline struct {
 // 16k-link mesh in one OS process; lazy dialing keeps the live
 // connection count proportional to actual protocol traffic.
 var clusterSizes = []int{8, 32, 64, 128}
+
+// treeSizes is the hierarchical-ingest sweep: each n runs flat and
+// through a 2-level relay tree (width treeRelays(n)), and at the
+// largest size additionally with the on-disk trace store, so one sweep
+// shows the root's connection/frame cut and the RSS bound. Rounds
+// shrink as n grows — the sweep measures ingest shape, not workload
+// throughput, and n·rounds critical sections serialize.
+var treeSizes = []int{256, 512}
+
+// treeRelays is the tree width for a cluster of n nodes: 64-way fan-in
+// per relay, at least 4.
+func treeRelays(n int) int {
+	r := n / 64
+	if r < 4 {
+		r = 4
+	}
+	return r
+}
+
+// treeRounds keeps the big-n rows tractable on small hosts.
+func treeRounds(n int) int {
+	if n >= 512 {
+		return 1
+	}
+	return 4
+}
+
+// clusterWait is the coordinator deadline for one measured run. The
+// big-n rows serialize hundreds of nodes' shimmed frame delays through
+// however many cores the host has, so their tail node can legitimately
+// need far longer than the flat sweep's.
+func clusterWait(n int) time.Duration {
+	if n >= 256 {
+		return 20 * time.Minute
+	}
+	return 5 * time.Minute
+}
 
 // clusterDelay is the injected per-frame mesh latency: it stands in for
 // the paper's message delay T and gives CheckResponsesWindow a
@@ -94,29 +162,95 @@ const clusterDelay = 200 * time.Microsecond
 // a microbenchmark-sized workload.
 const clusterFlush = 5 * time.Millisecond
 
-// runClusterOnce executes one measured cluster run.
-func runClusterOnce(n, rounds int, seed int64, perEvent bool) (ClusterMeasurement, error) {
-	mode := "batched"
-	if perEvent {
-		mode = "per-event"
+// clusterRun parameterizes one measured run.
+type clusterRun struct {
+	n, rounds, relays int
+	seed              int64
+	perEvent          bool
+	store             bool
+}
+
+func (rc clusterRun) mode() string {
+	switch {
+	case rc.store:
+		return "tree+store"
+	case rc.relays > 0:
+		return "tree"
+	case rc.perEvent:
+		return "per-event"
+	default:
+		return "batched"
 	}
+}
+
+// sampleHeapHigh watches HeapInuse until stop closes and reports the
+// high-water mark (bytes).
+func sampleHeapHigh(stop <-chan struct{}) <-chan uint64 {
+	out := make(chan uint64, 1)
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				out <- peak
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// runClusterOnce executes one measured cluster run.
+func runClusterOnce(rc clusterRun) (ClusterMeasurement, error) {
+	mode := rc.mode()
 	j := obs.NewJournal(0)
 	reg := obs.NewRegistry()
-	start := time.Now()
-	res, err := node.RunCluster(node.ClusterConfig{
-		N: n, Rounds: rounds, Think: 500 * time.Microsecond, CS: 200 * time.Microsecond,
-		Seed: seed, Faults: node.Faults{Delay: clusterDelay, Seed: seed},
-		Batching: node.Batching{PerEvent: perEvent, Interval: clusterFlush},
+	cfg := node.ClusterConfig{
+		N: rc.n, Rounds: rc.rounds, Think: 500 * time.Microsecond, CS: 200 * time.Microsecond,
+		Seed: rc.seed, Faults: node.Faults{Delay: clusterDelay, Seed: rc.seed},
+		Batching: node.Batching{PerEvent: rc.perEvent, Interval: clusterFlush},
+		Relays:   rc.relays,
 		Journal:  j, Reg: reg,
-		WaitTimeout: 5 * time.Minute,
-	})
-	if err != nil {
-		return ClusterMeasurement{}, fmt.Errorf("cluster n=%d %s: %w", n, mode, err)
+		WaitTimeout: clusterWait(rc.n),
 	}
+	var storeDir string
+	if rc.store {
+		dir, err := os.MkdirTemp("", "pcbench-store-*")
+		if err != nil {
+			return ClusterMeasurement{}, err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+		cfg.StoreDir = dir
+	}
+
+	// Heap high-water: settle to a post-GC baseline, sample through the
+	// run, report the delta — the number the store rows bound.
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stopSampler := make(chan struct{})
+	peakCh := sampleHeapHigh(stopSampler)
+
+	start := time.Now()
+	res, err := node.RunCluster(cfg)
 	wall := time.Since(start)
+	close(stopSampler)
+	peak := <-peakCh
+	if err != nil {
+		return ClusterMeasurement{}, fmt.Errorf("cluster n=%d %s: %w", rc.n, mode, err)
+	}
 
 	m := ClusterMeasurement{
-		N: n, Mode: mode,
+		N: rc.n, Mode: mode, Relays: rc.relays,
 		WallMs:         float64(wall.Nanoseconds()) / 1e6,
 		CoordFrames:    reg.Counter("predctl_wire_frames_total", obs.L("stream", "coord")).Value(),
 		CoordBytes:     reg.Counter("predctl_wire_bytes_total", obs.L("stream", "coord")).Value(),
@@ -124,12 +258,45 @@ func runClusterOnce(n, rounds int, seed int64, perEvent bool) (ClusterMeasuremen
 		MeshFrames:     reg.Counter("predctl_wire_frames_total", obs.L("stream", "mesh")).Value(),
 		MeshBytes:      reg.Counter("predctl_wire_bytes_total", obs.L("stream", "mesh")).Value(),
 		MeshBatchMean:  reg.Histogram("predctl_wire_batch_size", obs.L("stream", "mesh")).Mean(),
+		RootConns:      res.RootConns,
+		RootFrames:     res.RootFrames,
+		RootBytes:      res.RootBytes,
 		Candidates:     res.Candidates,
 		States:         res.Deposet.NumStates(),
+	}
+	if peak > base.HeapInuse {
+		m.HeapHighKB = int64(peak-base.HeapInuse) / 1024
 	}
 	for _, s := range res.Stats {
 		m.Requests += s.Requests
 		m.Handoffs += s.Handoffs
+	}
+	if rc.store {
+		man, verr := store.Verify(storeDir)
+		if verr != nil {
+			return m, fmt.Errorf("cluster n=%d %s: bundle: %w", rc.n, mode, verr)
+		}
+		m.StoreSegments = len(man.Segments)
+		for _, sm := range man.Segments {
+			m.StoreBytes += sm.Bytes
+		}
+		// The whole point of the bundle: reassembling from disk must
+		// reproduce the run's trace byte-for-byte.
+		d, _, aerr := node.AssembleBundle(storeDir)
+		if aerr != nil {
+			return m, fmt.Errorf("cluster n=%d %s: bundle assembly: %w", rc.n, mode, aerr)
+		}
+		var live, disk bytes.Buffer
+		if err := trace.Encode(&live, res.Deposet, nil); err != nil {
+			return m, err
+		}
+		if err := trace.Encode(&disk, d, nil); err != nil {
+			return m, err
+		}
+		m.BundleTraceIdentical = bytes.Equal(live.Bytes(), disk.Bytes())
+		if !m.BundleTraceIdentical {
+			return m, fmt.Errorf("cluster n=%d %s: bundle trace differs from the run's", rc.n, mode)
+		}
 	}
 
 	var rep obs.Report
@@ -139,7 +306,7 @@ func runClusterOnce(n, rounds int, seed int64, perEvent bool) (ClusterMeasuremen
 	m.InvariantsChecked = len(rep.Checked)
 	m.InvariantsViolated = len(rep.Violations)
 	if err := rep.Err(); err != nil {
-		return m, fmt.Errorf("cluster n=%d %s: %w", n, mode, err)
+		return m, fmt.Errorf("cluster n=%d %s: %w", rc.n, mode, err)
 	}
 	return m, nil
 }
@@ -195,21 +362,43 @@ func ingestWorkload(n, items int, perEvent bool) [][]byte {
 	return bodies
 }
 
+// relayWorkload re-wraps batched frame bodies into RelayBatch envelopes
+// the way a relay's flusher does — several child frames coalesced per
+// upstream frame — so the relayed row measures the root's
+// unwrap-dedup-dispatch cost on top of the same decode-and-stage work.
+func relayWorkload(bodies [][]byte) [][]byte {
+	const coalesce = 8
+	var out [][]byte
+	var seq uint64
+	for i := 0; i < len(bodies); i += coalesce {
+		var frames []wire.RelayFrame
+		for _, body := range bodies[i:min(i+coalesce, len(bodies))] {
+			frames = append(frames, wire.RelayFrame{Origin: 0, Body: body})
+		}
+		seq++
+		out = append(out, wire.Marshal(seq, wire.RelayBatch{Frames: frames})[4:])
+	}
+	return out
+}
+
 // measureIngest benchmarks the coordinator's decode-and-stage path over
 // a workload, normalizing the runtime's allocation accounting per
-// capture item.
-func measureIngest(n, items int, perEvent bool) IngestMeasurement {
-	mode := "batched"
-	if perEvent {
-		mode = "per-event"
+// capture item. Modes: "per-event" and "batched" feed the node framings
+// directly; "relayed" feeds the batched bodies re-wrapped in RelayBatch
+// envelopes through the relay ingest path.
+func measureIngest(n, items int, mode string) IngestMeasurement {
+	bodies := ingestWorkload(n, items, mode == "per-event")
+	ingest := func(j *obs.Journal) (int, error) { return node.IngestBench(n, j, bodies) }
+	if mode == "relayed" {
+		bodies = relayWorkload(bodies)
+		ingest = func(j *obs.Journal) (int, error) { return node.IngestRelayBench(n, j, bodies) }
 	}
-	bodies := ingestWorkload(n, items, perEvent)
 	total := items + items/4
 	j := obs.NewJournal(1 << 10)
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := node.IngestBench(n, j, bodies); err != nil {
+			if _, err := ingest(j); err != nil {
 				panic(err)
 			}
 		}
@@ -222,30 +411,46 @@ func measureIngest(n, items int, perEvent bool) IngestMeasurement {
 	}
 }
 
-// MeasureCluster runs the full sweep: every size in both modes, then
-// the ingest micro-benchmark at n = 64.
+// clusterNote derives the sweep's description from the effective
+// Batching config so it can never drift from what the runs actually
+// used (the committed baseline once claimed a stale default interval).
+func clusterNote() string {
+	eff := node.Batching{Interval: clusterFlush}.WithDefaults()
+	def := node.Batching{}.WithDefaults()
+	return fmt.Sprintf("in-process clusters over loopback TCP, %v injected mesh delay; per-event mode "+
+		"replays the pre-batching wire behavior (one frame per journal event, trace op, and "+
+		"candidate), batched mode the JournalBatch/TraceOpBatch/CandidateBatch flush policy "+
+		"(≤%d items, %v bench interval vs the %v default); tree rows route capture through a "+
+		"2-level relay tree (relays column) and tree+store additionally spills staged capture "+
+		"to an on-disk segment store and re-assembles the trace from the sealed bundle; "+
+		"coord* meters every capture stream (node→relay hops included), root* only what the "+
+		"root coordinator accepted; every run must end with the scapegoat-chain and "+
+		"response-window invariants green; wall times depend on the host",
+		clusterDelay, eff.MaxItems, eff.Interval, def.Interval)
+}
+
+// MeasureCluster runs the full sweep: every flat size in both framing
+// modes, the tree sizes flat vs relayed (plus the store row at the
+// largest), then the ingest micro-benchmark at n = 64 in all three
+// framings.
 func MeasureCluster(seed int64) (*ClusterBaseline, error) {
 	const rounds = 16
 	b := &ClusterBaseline{
-		Schema:     1,
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       seed,
-		Rounds:     rounds,
-		Note: "in-process clusters over loopback TCP, 200µs injected mesh delay; per-event mode " +
-			"replays the pre-batching wire behavior (one frame per journal event, trace op, and " +
-			"candidate), batched mode the JournalBatch/TraceOpBatch/CandidateBatch flush policy " +
-			"(≤128 items, 5ms bench interval vs the 2ms default); coord* meters the capture " +
-			"stream, mesh* the protocol links (frame count latency-bound, writes coalesced); " +
-			"every run must end with the scapegoat-chain and response-window invariants green; " +
-			"wall times depend on the host",
+		Schema:              2,
+		GoVersion:           runtime.Version(),
+		NumCPU:              runtime.NumCPU(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		Seed:                seed,
+		Rounds:              rounds,
+		Note:                clusterNote(),
 		CoordFrameReduction: map[string]float64{},
+		TreeConnReduction:   map[string]float64{},
+		TreeFrameReduction:  map[string]float64{},
 	}
 	perN := map[int][2]int64{} // n → [per-event frames, batched frames]
 	for _, n := range clusterSizes {
 		for _, perEvent := range []bool{true, false} {
-			m, err := runClusterOnce(n, rounds, seed, perEvent)
+			m, err := runClusterOnce(clusterRun{n: n, rounds: rounds, seed: seed, perEvent: perEvent})
 			if err != nil {
 				return nil, err
 			}
@@ -262,10 +467,36 @@ func MeasureCluster(seed int64) (*ClusterBaseline, error) {
 			b.CoordFrameReduction[fmt.Sprintf("n=%d", n)] = float64(v[0]) / float64(v[1])
 		}
 	}
+	for _, n := range treeSizes {
+		flat, err := runClusterOnce(clusterRun{n: n, rounds: treeRounds(n), seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		tree, err := runClusterOnce(clusterRun{n: n, rounds: treeRounds(n), relays: treeRelays(n), seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		b.Results = append(b.Results, flat, tree)
+		key := fmt.Sprintf("n=%d", n)
+		if tree.RootConns > 0 {
+			b.TreeConnReduction[key] = float64(flat.RootConns) / float64(tree.RootConns)
+		}
+		if tree.RootFrames > 0 {
+			b.TreeFrameReduction[key] = float64(flat.RootFrames) / float64(tree.RootFrames)
+		}
+		if n == treeSizes[len(treeSizes)-1] {
+			st, err := runClusterOnce(clusterRun{n: n, rounds: treeRounds(n), relays: treeRelays(n), seed: seed, store: true})
+			if err != nil {
+				return nil, err
+			}
+			b.Results = append(b.Results, st)
+		}
+	}
 	const ingestItems = 4096
-	pe := measureIngest(64, ingestItems, true)
-	ba := measureIngest(64, ingestItems, false)
-	b.Ingest = []IngestMeasurement{pe, ba}
+	pe := measureIngest(64, ingestItems, "per-event")
+	ba := measureIngest(64, ingestItems, "batched")
+	rb := measureIngest(64, ingestItems, "relayed")
+	b.Ingest = []IngestMeasurement{pe, ba, rb}
 	if pe.AllocsPerItem > 0 {
 		b.IngestAllocReduction = 1 - ba.AllocsPerItem/pe.AllocsPerItem
 	}

@@ -41,15 +41,11 @@ type LiveOptions struct {
 
 // LiveMeasurement aggregates one mode's repetitions.
 type LiveMeasurement struct {
-	Mode         string  `json:"mode"` // "dark" | "lit"
-	WallMsMin    float64 `json:"wallMsMin"`
-	WallMsMedian float64 `json:"wallMsMedian"`
-	WallMsMean   float64 `json:"wallMsMean"`
+	Mode string `json:"mode"` // "dark" | "lit"
+	WallStats
 	// Candidates is the last rep's ingested-candidate count — the
 	// stream volume the lit mode's checker had to absorb.
 	Candidates int `json:"candidates"`
-
-	walls []float64
 }
 
 // LiveLatency is the candidate-send→confirmed-fire distribution over
@@ -200,33 +196,22 @@ func MeasureLive(opts LiveOptions) (*LiveBaseline, error) {
 		Dark: LiveMeasurement{Mode: "dark"},
 		Lit:  LiveMeasurement{Mode: "lit"},
 	}
-	measure := func(m *LiveMeasurement, lit bool) error {
+	measure := func(m *LiveMeasurement, lit bool) (float64, error) {
 		wall, cands, err := runLiveOnce(opts, lit)
 		if err != nil {
-			return fmt.Errorf("live bench %s: %w", m.Mode, err)
+			return 0, fmt.Errorf("live bench %s: %w", m.Mode, err)
 		}
-		m.walls = append(m.walls, wall)
 		m.Candidates = cands
-		return nil
+		return wall, nil
 	}
-	for rep := 0; rep < opts.Reps; rep++ {
-		if err := measure(&b.Dark, false); err != nil {
-			return nil, err
-		}
-		if err := measure(&b.Lit, true); err != nil {
-			return nil, err
-		}
+	err := interleaveAB(opts.Reps,
+		func() (float64, error) { return measure(&b.Dark, false) },
+		func() (float64, error) { return measure(&b.Lit, true) },
+		&b.Dark.WallStats, &b.Lit.WallStats)
+	if err != nil {
+		return nil, err
 	}
-	for _, m := range []*LiveMeasurement{&b.Dark, &b.Lit} {
-		sort.Float64s(m.walls)
-		m.WallMsMin = m.walls[0]
-		m.WallMsMedian = m.walls[len(m.walls)/2]
-		for _, w := range m.walls {
-			m.WallMsMean += w / float64(len(m.walls))
-		}
-	}
-	b.OverheadPct = 100 * (b.Lit.WallMsMin/b.Dark.WallMsMin - 1)
-	var err error
+	b.OverheadPct = pctOverhead(b.Lit.WallMsMin, b.Dark.WallMsMin)
 	if b.Latency, err = measureLiveLatency(opts); err != nil {
 		return nil, err
 	}

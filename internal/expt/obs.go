@@ -7,7 +7,6 @@ import (
 	"net"
 	"net/http"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -33,17 +32,13 @@ type ObsOptions struct {
 
 // ObsMeasurement aggregates one mode's repetitions.
 type ObsMeasurement struct {
-	Mode         string  `json:"mode"` // "snapshots-off" | "snapshots-on+http"
-	WallMsMin    float64 `json:"wallMsMin"`
-	WallMsMedian float64 `json:"wallMsMedian"`
-	WallMsMean   float64 `json:"wallMsMean"`
+	Mode string `json:"mode"` // "snapshots-off" | "snapshots-on+http"
+	WallStats
 	// CoordFrames is the capture-stream frame count of the last rep;
 	// the on/off difference is the MetricsSnapshot traffic.
 	CoordFrames int64 `json:"coordFrames"`
 	// Polls counts completed HTTP scrapes across all reps (on mode).
 	Polls int `json:"polls"`
-
-	walls []float64
 }
 
 // ObsBaseline is the serializable record (BENCH_obs.json).
@@ -166,33 +161,23 @@ func MeasureObs(opts ObsOptions) (*ObsBaseline, error) {
 		Off: ObsMeasurement{Mode: "snapshots-off"},
 		On:  ObsMeasurement{Mode: "snapshots-on+http"},
 	}
-	measure := func(m *ObsMeasurement, live bool) error {
+	measure := func(m *ObsMeasurement, live bool) (float64, error) {
 		wall, frames, polls, err := runObsOnce(opts, live)
 		if err != nil {
-			return fmt.Errorf("obs bench %s: %w", m.Mode, err)
+			return 0, fmt.Errorf("obs bench %s: %w", m.Mode, err)
 		}
-		m.walls = append(m.walls, wall)
 		m.CoordFrames = frames
 		m.Polls += polls
-		return nil
+		return wall, nil
 	}
-	for rep := 0; rep < opts.Reps; rep++ {
-		if err := measure(&b.Off, false); err != nil {
-			return nil, err
-		}
-		if err := measure(&b.On, true); err != nil {
-			return nil, err
-		}
+	err := interleaveAB(opts.Reps,
+		func() (float64, error) { return measure(&b.Off, false) },
+		func() (float64, error) { return measure(&b.On, true) },
+		&b.Off.WallStats, &b.On.WallStats)
+	if err != nil {
+		return nil, err
 	}
-	for _, m := range []*ObsMeasurement{&b.Off, &b.On} {
-		sort.Float64s(m.walls)
-		m.WallMsMin = m.walls[0]
-		m.WallMsMedian = m.walls[len(m.walls)/2]
-		for _, w := range m.walls {
-			m.WallMsMean += w / float64(len(m.walls))
-		}
-	}
-	b.OverheadPct = 100 * (b.On.WallMsMedian/b.Off.WallMsMedian - 1)
+	b.OverheadPct = pctOverhead(b.On.WallMsMedian, b.Off.WallMsMedian)
 	return b, nil
 }
 

@@ -1,0 +1,63 @@
+package node
+
+import (
+	"fmt"
+
+	"predctl/internal/deposet"
+	"predctl/internal/store"
+	"predctl/internal/wire"
+)
+
+// AssembleBundle verifies a sealed capture bundle and reassembles its
+// final-epoch deposet — the disk-backed twin of the coordinator's
+// commit-time assembly, consumable by `pctl replay`/`pctl trace` and
+// any offline pass long after the run's process is gone. Segments are
+// append-only, so a bundle can hold records from voided epochs
+// (controlled re-executions discard them from the live index, not from
+// disk); the manifest's sealed epoch filters them out, exactly as the
+// coordinator's staging held only final-epoch capture.
+func AssembleBundle(dir string) (*deposet.Deposet, *store.Manifest, error) {
+	man, err := store.Verify(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if man.N < 1 {
+		return nil, nil, fmt.Errorf("node: bundle %s: manifest n=%d", dir, man.N)
+	}
+	opsByProc := make([][]wire.TraceOp, 2*man.N)
+	addOp := func(op wire.TraceOp) error {
+		p := int(op.Proc)
+		if p < 0 || p >= 2*man.N {
+			return fmt.Errorf("node: bundle %s: trace op for process %d of %d", dir, p, 2*man.N)
+		}
+		opsByProc[p] = append(opsByProc[p], op)
+		return nil
+	}
+	if _, err := store.ReplayBundle(dir, func(rec wire.SegmentRecord, _ uint64, m wire.Msg) error {
+		if rec.Epoch != man.Epoch {
+			return nil
+		}
+		switch v := m.(type) {
+		case wire.Trace:
+			for _, op := range v.Ops {
+				if err := addOp(op); err != nil {
+					return err
+				}
+			}
+		case wire.TraceOpBatch:
+			for _, op := range v.Ops {
+				if err := addOp(op); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	d, err := assemble(man.N, opsByProc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, man, nil
+}

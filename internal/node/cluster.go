@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"predctl/internal/obs"
+	"predctl/internal/store"
 )
 
 // Crash schedules one in-process node kill: at At (relative to the
@@ -69,6 +70,53 @@ type ClusterConfig struct {
 	// broadcast puts them back under control — the planted violation
 	// live detection demos catch.
 	Rogues []int
+	// Relays > 0 shards coordinator ingest into a 2-level aggregation
+	// tree: that many relay processes each terminate the capture
+	// streams of the nodes assigned to them (node i → relay i mod
+	// Relays) and forward re-batched relay frames upstream, so the root
+	// handles O(Relays) connections instead of O(N). Nodes are
+	// oblivious — their coordinator address is simply their relay's.
+	Relays int
+	// RelayCrashes kills relays mid-run (Crash.Node is the relay
+	// index): the relay's listener and uplink drop abruptly, children
+	// session-resume against the relaunched relay, and the root's
+	// per-origin dedup absorbs the replayed overlap — a relay kill
+	// heals like a coordinator-stream sever, with no epoch restart.
+	RelayCrashes []Crash
+	// StoreDir, when non-empty, spills the coordinator's staged capture
+	// to a segmented on-disk trace store in that directory (created if
+	// missing) and seals it into a capture bundle at commit.
+	StoreDir string
+}
+
+// clusterHandshakeTimeout is the dial/handshake-write deadline for an
+// n-node cluster: the 2s base plus 10ms of slack per node, capped at
+// 10s — enough that a dial-storm scheduling stall never looks like a
+// dead peer, small enough that a genuinely dead one still fails fast.
+func clusterHandshakeTimeout(n int) time.Duration {
+	d := 2*time.Second + time.Duration(n)*10*time.Millisecond
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d
+}
+
+// clusterLaunchGap is the per-node launch pacing for big clusters: at
+// n ≥ 128 the nodes start launchGap apart (capped at a total spread of
+// clusterLaunchSpread) so the cold-start burst doesn't starve the
+// accept loops for seconds. The workload needs every node joined
+// before any round can complete, so the spread shifts the run start
+// without stretching the measured steady state.
+func clusterLaunchGap(n int) time.Duration {
+	if n < 128 {
+		return 0
+	}
+	const spread = 1500 * time.Millisecond
+	const gap = 3 * time.Millisecond
+	if time.Duration(n)*gap > spread {
+		return spread / time.Duration(n)
+	}
+	return gap
 }
 
 // RunCluster executes the anti-token (n−1)-mutex workload on a cluster
@@ -83,6 +131,19 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	}
 	if cfg.WaitTimeout == 0 {
 		cfg.WaitTimeout = 2 * time.Minute
+	}
+	// Handshake patience scales with fan-in. A cold start dials every
+	// node's coordinator stream at once; on a host with few cores the
+	// accept loops and the freshly-dialed goroutines can each be
+	// descheduled for whole seconds under that burst, and the flat 2s
+	// handshake deadlines then abandon perfectly good connections —
+	// hundreds of zero-byte redial cycles that skew the join tail and
+	// stretch the run. Callers that set their own Timeouts keep them.
+	if cfg.Timeouts.DialTimeout == 0 {
+		cfg.Timeouts.DialTimeout = clusterHandshakeTimeout(cfg.N)
+	}
+	if cfg.Timeouts.WriteTimeout == 0 {
+		cfg.Timeouts.WriteTimeout = clusterHandshakeTimeout(cfg.N)
 	}
 
 	// Bind every listener up front so the address list is complete
@@ -101,12 +162,26 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		addrs[i] = ln.Addr().String()
 	}
 	start := time.Now()
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(store.Config{
+			Dir: cfg.StoreDir, Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
+		})
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return nil, err
+		}
+		defer st.Close() // no-op after the commit-time Seal
+	}
 	coord, err := NewCoordinator(CoordConfig{
 		N: cfg.N, Addr: "127.0.0.1:0",
 		Journal: cfg.Journal, Reg: cfg.Reg, MetricLabels: cfg.MetricLabels,
 		Timeouts: cfg.Timeouts, Logf: cfg.Logf,
 		HTTPAddr: cfg.HTTPAddr, HTTPListener: cfg.HTTPListener,
-		Start: start, Live: cfg.Live,
+		Start: start, Live: cfg.Live, Store: st,
 	})
 	if err != nil {
 		for _, l := range listeners {
@@ -115,6 +190,112 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 		return nil, err
 	}
 	defer coord.Close()
+
+	// The aggregation tree: bind every relay's downstream address, point
+	// node i at relay i mod Relays, and start the relays (each blocks
+	// until its uplink handshake lands, so by the time nodes dial, every
+	// relay already knows the cluster epoch).
+	coordAddr := func(int) string { return coord.Addr() }
+	stopRelays := make(chan struct{})
+	var relayWG sync.WaitGroup
+	if cfg.Relays > 0 {
+		relayAddrs := make([]string, cfg.Relays)
+		relayLns := make([]net.Listener, cfg.Relays)
+		for i := range relayLns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("node: relay listen: %w", err)
+			}
+			relayLns[i] = ln
+			relayAddrs[i] = ln.Addr().String()
+		}
+		coordAddr = func(i int) string { return relayAddrs[i%cfg.Relays] }
+		relayCfg := func(idx int, ln net.Listener) RelayConfig {
+			return RelayConfig{
+				Index: idx, Relays: cfg.Relays, N: cfg.N,
+				Upstream: coord.Addr(), Listener: ln,
+				Batching: cfg.Batching, Timeouts: cfg.Timeouts,
+				Reg:          cfg.Reg.Child(obs.L("relay", strconv.Itoa(idx))),
+				MetricLabels: cfg.MetricLabels,
+				Logf:         cfg.Logf,
+			}
+		}
+		for _, cr := range cfg.RelayCrashes {
+			if cr.Node < 0 || cr.Node >= cfg.Relays {
+				return nil, fmt.Errorf("node: relay crash schedule targets relay %d of %d", cr.Node, cfg.Relays)
+			}
+		}
+		relays := make([]*Relay, cfg.Relays)
+		for i := range relays {
+			rl, err := StartRelay(relayCfg(i, relayLns[i]))
+			if err != nil {
+				for _, r := range relays[:i] {
+					r.Close()
+				}
+				return nil, err
+			}
+			relays[i] = rl
+		}
+		relayCrashCh := make([]chan struct{}, cfg.Relays)
+		for i := range relayCrashCh {
+			relayCrashCh[i] = make(chan struct{}, len(cfg.RelayCrashes))
+		}
+		for _, cr := range cfg.RelayCrashes {
+			relayWG.Add(1)
+			go func(cr Crash) {
+				defer relayWG.Done()
+				select {
+				case <-time.After(time.Until(start.Add(cr.At))):
+					coord.Annotate(obs.EvChaosCrash, int64(-(cr.Node + 1)), 0)
+					relayCrashCh[cr.Node] <- struct{}{}
+				case <-stopRelays:
+				}
+			}(cr)
+		}
+		for i := range relays {
+			relayWG.Add(1)
+			go func(idx int) {
+				defer relayWG.Done()
+				rl := relays[idx]
+				down := crashDowntime(cfg.RelayCrashes, idx)
+				deaths := 0
+				for {
+					select {
+					case <-stopRelays:
+						rl.Close()
+						return
+					case <-relayCrashCh[idx]:
+						// Abrupt kill: listener, children, uplink all drop.
+						// The children's session machinery redials the same
+						// address; the relaunched relay acks Cum=0 and the
+						// root dedups the full replays.
+						rl.Close()
+						if deaths < len(down) && down[deaths] > 0 {
+							time.Sleep(down[deaths])
+						}
+						deaths++
+						ln, lerr := relisten(relayAddrs[idx], stopRelays)
+						if lerr != nil {
+							return
+						}
+						nrl, err := StartRelay(relayCfg(idx, ln))
+						if err != nil {
+							select {
+							case <-stopRelays:
+							default:
+								if cfg.Logf != nil {
+									cfg.Logf("relay %d: relaunch: %v", idx, err)
+								}
+							}
+							ln.Close()
+							return
+						}
+						rl = nrl
+					}
+				}
+			}(i)
+		}
+	}
 
 	// Scheduled partitions are known a priori; annotate their windows on
 	// the merged timeline up front so the cluster trace shows them even
@@ -165,12 +346,20 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 
 	var wg sync.WaitGroup
 	errs := make([]error, cfg.N)
+	launchGap := clusterLaunchGap(cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if launchGap > 0 && i > 0 {
+				select {
+				case <-time.After(time.Duration(i) * launchGap):
+				case <-stop:
+					return
+				}
+			}
 			nodeCfg := Config{
-				ID: i, N: cfg.N, Addrs: addrs, Coord: coord.Addr(),
+				ID: i, N: cfg.N, Addrs: addrs, Coord: coordAddr(i),
 				Scapegoat: cfg.Scapegoat, Broadcast: cfg.Broadcast,
 				Rounds: cfg.Rounds, Think: cfg.Think, CS: cfg.CS,
 				Seed: cfg.Seed, Faults: cfg.Faults, Timeouts: cfg.Timeouts,
@@ -238,7 +427,27 @@ func RunCluster(cfg ClusterConfig) (*Result, error) {
 	}
 	res, werr := coord.Wait(cfg.WaitTimeout)
 	close(stop)
+	relaysDown := false
+	if werr != nil {
+		// A failed wait means no Commit is coming, and coord.Wait's
+		// teardown only severs the root's own connections. Direct nodes
+		// notice (their streams break, resume campaigns fail, sessDone
+		// frees the park), but relayed nodes sit behind still-healthy
+		// relay streams and would park forever — tear the middle tier
+		// down too before waiting on them.
+		close(stopRelays)
+		relayWG.Wait()
+		relaysDown = true
+	}
 	wg.Wait()
+	// On success the relays outlive the nodes: a parked node whose
+	// Commit died with a broken stream fetches it from its relay's
+	// cached replay, which needs the relay (like the coordinator's
+	// listener) still up.
+	if !relaysDown {
+		close(stopRelays)
+		relayWG.Wait()
+	}
 	schedWG.Wait()
 	for i, e := range errs {
 		if e != nil {

@@ -17,6 +17,7 @@ import (
 	"predctl/internal/obs"
 	"predctl/internal/offline"
 	"predctl/internal/predicate"
+	"predctl/internal/store"
 	"predctl/internal/wire"
 )
 
@@ -46,6 +47,12 @@ type Batching struct {
 	// interval); negative disables snapshot streaming.
 	SnapshotEvery int
 }
+
+// WithDefaults resolves unset fields to their defaults — the exact
+// policy a node's capture batcher runs, exported so tooling (bench
+// notes, CLI help) can describe the effective config instead of
+// hand-writing it.
+func (b Batching) WithDefaults() Batching { return b.withDefaults() }
 
 func (b Batching) withDefaults() Batching {
 	if b.MaxItems <= 0 {
@@ -124,6 +131,16 @@ type coordClient struct {
 	// snapshots' AtNs timestamps.
 	snap  func() []wire.MetricPoint
 	start time.Time
+
+	// Session-machinery hooks, set only by the relay's uplink (nil on a
+	// node's stream): mkResume replaces the Resume handshake frame,
+	// onMsg intercepts inbound frames before the node-oriented handling
+	// (return true to consume), and onResumeAck observes every resume
+	// handshake's ack. They let the relay reuse the session log,
+	// redial/backoff and retransmit machinery unchanged.
+	mkResume    func(epoch uint32) wire.Msg
+	onMsg       func(m wire.Msg) bool
+	onResumeAck func(ack wire.ResumeAck)
 }
 
 // dialCoord connects to the coordinator, retrying with capped
@@ -146,7 +163,7 @@ func dialCoord(addr string, id, n int, batch Batching, wm wireMeters, opt Timeou
 		return nil, fmt.Errorf("node %d: coordinator %s: %w", id, addr, err)
 	}
 	cc.conn = conn
-	go cc.session(conn)
+	go cc.session(conn, bufReader(conn))
 	return cc, nil
 }
 
@@ -209,9 +226,8 @@ func (cc *coordClient) pause(d time.Duration) {
 // forever — until close() or a failed resume campaign. Only resume
 // failure is terminal: that is the hard, logged error that replaces
 // the old silent capture truncation.
-func (cc *coordClient) session(conn net.Conn) {
+func (cc *coordClient) session(conn net.Conn, br *bufio.Reader) {
 	defer close(cc.sessDone)
-	br := bufReader(conn)
 	for {
 		cc.readLoop(conn, br)
 		select {
@@ -263,6 +279,9 @@ func (cc *coordClient) readLoop(conn net.Conn, br *bufio.Reader) {
 			}
 			return
 		}
+		if cc.onMsg != nil && cc.onMsg(m) {
+			continue
+		}
 		switch v := m.(type) {
 		case wire.Shutdown:
 			cc.pushShutdown(v.Epoch)
@@ -299,7 +318,11 @@ func (cc *coordClient) resume() (net.Conn, *bufio.Reader, error) {
 	cc.mu.Lock()
 	e := cc.epoch
 	cc.mu.Unlock()
-	conn, err := cc.dialOnce(wire.Resume{From: int32(cc.id), N: int32(cc.n), Epoch: e})
+	handshake := wire.Msg(wire.Resume{From: int32(cc.id), N: int32(cc.n), Epoch: e})
+	if cc.mkResume != nil {
+		handshake = cc.mkResume(e)
+	}
+	conn, err := cc.dialOnce(handshake)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -314,6 +337,9 @@ func (cc *coordClient) resume() (net.Conn, *bufio.Reader, error) {
 	if !ok {
 		conn.Close()
 		return nil, nil, fmt.Errorf("resume handshake: got %T, want ResumeAck", m)
+	}
+	if cc.onResumeAck != nil {
+		cc.onResumeAck(ack)
 	}
 	if ack.Epoch != e {
 		// The coordinator knows a different epoch (a Restart we missed
@@ -745,6 +771,12 @@ type CoordConfig struct {
 	// Live opts the coordinator into online detection of possibly(¬B)
 	// while the run streams. Zero value (nil Predicate) disables it.
 	Live LiveConfig
+	// Store, when non-nil, spills staged capture (trace ops, journal
+	// events) to the segmented on-disk trace store instead of holding it
+	// in RAM; assembly and the live prefix pass replay from disk. The
+	// coordinator seals the store into a capture bundle at commit; the
+	// caller owns Open/Close.
+	Store *store.Store
 }
 
 // LiveConfig parameterizes the live online-detection subsystem: the
@@ -843,6 +875,14 @@ type Result struct {
 	// ReExecs counts detection-triggered controlled re-executions
 	// (disjoint from Restarts, which counts crash recoveries).
 	ReExecs int
+	// RootConns counts stream handshakes the coordinator accepted
+	// (Hello, Resume, RelayHello); RootFrames / RootBytes the frames
+	// and payload bytes it read off accepted streams. With a relay tree
+	// these measure the root's actual ingest load — O(relays) instead
+	// of O(n) — which is what the cluster bench's tree rows report.
+	RootConns  int64
+	RootFrames int64
+	RootBytes  int64
 }
 
 // nodeSession is the coordinator's per-node-id stream state. It
@@ -958,8 +998,24 @@ type Coordinator struct {
 	violation predicate.Expr // ¬B, precomputed from Live.Predicate
 	detMeter  *obs.Counter
 
+	// store, when non-nil, takes capture volume (trace ops, journal
+	// events) off the heap: the raw frame bodies spill to the segmented
+	// on-disk trace store and are streamed back at assembly time.
+	// Coordination state (epochs, completion, candidates, snapshots)
+	// stays in RAM.
+	store *store.Store
+
+	// Root-side ingest accounting for the tree-vs-flat bench: frames
+	// and payload bytes read off accepted streams, and handshakes that
+	// opened or resumed one.
+	rootFrames atomic.Int64
+	rootBytes  atomic.Int64
+	rootConns  atomic.Int64
+
 	mu         sync.Mutex
 	sessions   map[int]*nodeSession
+	relays     map[int]*relaySession
+	relayConns map[int]*coordConn
 	stats      []Stats
 	epoch      uint32 // cluster re-execution epoch
 	restarts   int
@@ -1013,21 +1069,24 @@ func NewCoordinator(cfg CoordConfig) (*Coordinator, error) {
 		start = time.Now()
 	}
 	c := &Coordinator{
-		n:        cfg.N,
-		ln:       ln,
-		journal:  cfg.Journal,
-		cands:    cfg.Reg.Counter("predctl_monitor_candidates_total", cfg.MetricLabels...),
-		opt:      cfg.Timeouts.withDefaults(),
-		logf:     logf,
-		start:    start,
-		live:     obs.NewRegistry(),
-		sessions: map[int]*nodeSession{},
-		stats:    make([]Stats, cfg.N),
-		doneSeen: make([]bool, cfg.N),
-		byeSeen:  make([]bool, cfg.N),
-		conns:    map[int]*coordConn{},
-		allByes:  make(chan struct{}),
-		closed:   make(chan struct{}),
+		n:          cfg.N,
+		ln:         ln,
+		journal:    cfg.Journal,
+		cands:      cfg.Reg.Counter("predctl_monitor_candidates_total", cfg.MetricLabels...),
+		opt:        cfg.Timeouts.withDefaults(),
+		logf:       logf,
+		start:      start,
+		store:      cfg.Store,
+		live:       obs.NewRegistry(),
+		sessions:   map[int]*nodeSession{},
+		relays:     map[int]*relaySession{},
+		relayConns: map[int]*coordConn{},
+		stats:      make([]Stats, cfg.N),
+		doneSeen:   make([]bool, cfg.N),
+		byeSeen:    make([]bool, cfg.N),
+		conns:      map[int]*coordConn{},
+		allByes:    make(chan struct{}),
+		closed:     make(chan struct{}),
 	}
 	if cfg.Live.Predicate != nil {
 		lc := cfg.Live
@@ -1118,19 +1177,55 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 	byProc := make([][]wire.TraceOp, 2*c.n)
 	var events []obs.Event
 	candidates := 0
+	addOp := func(id int, op wire.TraceOp) {
+		p := int(op.Proc)
+		if p < 0 || p >= 2*c.n {
+			c.logf("coordinator: node %d: trace op for process %d dropped", id, p)
+			return
+		}
+		byProc[p] = append(byProc[p], op)
+	}
 	for _, st := range sessions {
 		st.mu.Lock()
 		for _, op := range st.ops {
-			p := int(op.Proc)
-			if p < 0 || p >= 2*c.n {
-				c.logf("coordinator: node %d: trace op for process %d dropped", st.id, p)
-				continue
-			}
-			byProc[p] = append(byProc[p], op)
+			addOp(st.id, op)
 		}
 		events = append(events, st.events...)
 		candidates += st.cands
 		st.mu.Unlock()
+		if c.store != nil {
+			// Spilled capture streams back from disk in append order —
+			// the stream order the session staged it in — so the merged
+			// result is identical to the in-RAM path.
+			err := c.store.Replay(int32(st.id), func(_ uint64, m wire.Msg) error {
+				switch v := m.(type) {
+				case wire.Trace:
+					for _, op := range v.Ops {
+						addOp(st.id, op)
+					}
+				case wire.TraceOpBatch:
+					for _, op := range v.Ops {
+						addOp(st.id, op)
+					}
+				case wire.JournalEvent:
+					events = append(events, obs.Event{
+						At: v.At, Proc: int(v.Proc), Kind: obs.Kind(v.Kind), Name: v.Name,
+						A: v.A, B: v.B, C: v.C, VC: v.VC,
+					})
+				case wire.JournalBatch:
+					for _, e := range v.Events {
+						events = append(events, obs.Event{
+							At: e.At, Proc: int(e.Proc), Kind: obs.Kind(e.Kind), Name: e.Name,
+							A: e.A, B: e.B, C: e.C, VC: e.VC,
+						})
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("node: coordinator: store replay for node %d: %w", st.id, err)
+			}
+		}
 	}
 	events = append(events, annots...)
 	// The merged journal is time-ordered across nodes (stably, so each
@@ -1154,6 +1249,9 @@ func (c *Coordinator) Wait(timeout time.Duration) (*Result, error) {
 		Detections: dets,
 		LiveFired:  c.ld != nil && c.ld.Fired(),
 		ReExecs:    reexecs,
+		RootConns:  c.rootConns.Load(),
+		RootFrames: c.rootFrames.Load(),
+		RootBytes:  c.rootBytes.Load(),
 	}, nil
 }
 
@@ -1169,6 +1267,12 @@ func (c *Coordinator) Close() {
 	c.ln.Close()
 	c.mu.Lock()
 	for _, conn := range c.conns {
+		conn.Close()
+	}
+	// Relay uplinks are tracked separately from node conns; leaving
+	// them open would keep their handleRelay readers — and so wg.Wait —
+	// alive for as long as the relays keep forwarding.
+	for _, conn := range c.relayConns {
 		conn.Close()
 	}
 	c.mu.Unlock()
@@ -1232,9 +1336,13 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 		c.logf("coordinator: handshake: %v", err)
 		return
 	}
+	c.rootConns.Add(1)
 
 	var st *nodeSession
 	switch h := first.(type) {
+	case wire.RelayHello:
+		c.handleRelay(conn, br, rawConn, h)
+		return
 	case wire.Hello:
 		if int(h.N) != c.n || h.From < 0 || int(h.From) >= c.n {
 			c.logf("coordinator: bad hello %#v", first)
@@ -1269,6 +1377,9 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 			// has no session to resume, so its old incarnation's stream
 			// state is void.
 			st.resetLocked(seq)
+			if c.store != nil {
+				c.store.Discard(int32(st.id))
+			}
 		} else {
 			st.lastSeq = seq
 		}
@@ -1369,7 +1480,7 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 		// Generous read deadline: nodes stream continuously while alive,
 		// and a wedged node should fail the run loudly, not hang it.
 		rawConn.SetReadDeadline(time.Now().Add(30 * time.Second))
-		seq, m, err := wire.ReadFrame(br)
+		body, err := wire.ReadRawBody(br)
 		if err != nil {
 			select {
 			case <-c.closed:
@@ -1378,6 +1489,13 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 					c.logf("coordinator: node %d stream: %v", st.id, err)
 				}
 			}
+			return
+		}
+		c.rootFrames.Add(1)
+		c.rootBytes.Add(int64(len(body) + 4))
+		seq, m, err := wire.DecodeBody(body)
+		if err != nil {
+			c.logf("coordinator: node %d stream: %v", st.id, err)
 			return
 		}
 		st.ingestMu.Lock()
@@ -1414,7 +1532,7 @@ func (c *Coordinator) handleNode(rawConn net.Conn) {
 				st.id, seq, st.lastSeq)
 			return
 		}
-		act, epoch := c.ingest(st, m)
+		act, epoch := c.ingestStored(st, m, body)
 		st.ingestMu.Unlock()
 		// The broadcasts run outside every session lock (they take
 		// shutdownMu, which handshakes take before ingestMu — holding
@@ -1475,12 +1593,17 @@ func (c *Coordinator) restartClusterLocked(id int) {
 	c.broadcast(conns, wire.Restart{Epoch: e}, "restart")
 }
 
-// snapshotConnsLocked copies the connection table for a broadcast.
-// Caller holds c.mu.
+// snapshotConnsLocked copies the connection table for a broadcast —
+// direct node streams plus relay uplinks (keyed -(index+1) so the two
+// tables cannot collide): a decision broadcast reaches relayed nodes
+// through their relay's fan-out. Caller holds c.mu.
 func (c *Coordinator) snapshotConnsLocked() map[int]*coordConn {
-	conns := make(map[int]*coordConn, len(c.conns))
+	conns := make(map[int]*coordConn, len(c.conns)+len(c.relayConns))
 	for id, conn := range c.conns {
 		conns[id] = conn
+	}
+	for idx, conn := range c.relayConns {
+		conns[-(idx + 1)] = conn
 	}
 	return conns
 }
@@ -1512,24 +1635,68 @@ const (
 	actDetected              // the live checker triggered: run the prefix confirmation
 )
 
-// ingest folds one frame from a node's stream into the coordinator
-// state, reporting the completion action (if any) it triggered and the
-// epoch that action belongs to. Trace traffic — the volume — lands in
-// the session's own staging under the session lock; only the rare
-// coordination frames (Done, Shutdown, EpochMark) touch c.mu. Done and
-// bye count toward completion only when the stream is at the cluster
-// epoch: a Done raced by a Restart belongs to a voided execution.
+// ingest is ingestStored without a raw body in hand (IngestBench, and
+// any path that decoded first): spill-mode re-encodes the frame.
 func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32) {
+	return c.ingestStored(st, m, nil)
+}
+
+// spillCapture diverts one capture frame into the on-disk trace store
+// when spilling is on, reporting whether it did. raw is the frame's
+// wire body as read off the stream (nil when the caller only has the
+// decoded message, in which case the body is re-encoded — the bytes
+// are identical either way, which is what keeps disk-backed assembly
+// byte-equal to in-RAM staging).
+func (c *Coordinator) spillCapture(st *nodeSession, m wire.Msg, raw []byte) bool {
+	if c.store == nil {
+		return false
+	}
+	if raw == nil {
+		raw = wire.AppendBody(nil, 0, m)
+	}
+	st.mu.Lock()
+	e := st.epoch
+	st.mu.Unlock()
+	if err := c.store.Append(int32(st.id), e, raw); err != nil {
+		// Loud but non-fatal: the frame falls back to RAM staging, so a
+		// full disk degrades to the old memory profile instead of
+		// corrupting the capture.
+		c.logf("coordinator: node %d: store spill: %v", st.id, err)
+		return false
+	}
+	return true
+}
+
+// ingestStored folds one frame from a node's stream into the
+// coordinator state, reporting the completion action (if any) it
+// triggered and the epoch that action belongs to. Trace traffic — the
+// volume — lands in the session's own staging under the session lock
+// (or spills to the trace store when one is configured; raw carries
+// the frame's wire body so the spill needs no re-encode); only the
+// rare coordination frames (Done, Shutdown, EpochMark) touch c.mu.
+// Done and bye count toward completion only when the stream is at the
+// cluster epoch: a Done raced by a Restart belongs to a voided
+// execution.
+func (c *Coordinator) ingestStored(st *nodeSession, m wire.Msg, raw []byte) (ingestAction, uint32) {
 	switch v := m.(type) {
 	case wire.Trace:
+		if c.spillCapture(st, m, raw) {
+			break
+		}
 		st.mu.Lock()
 		st.ops = append(st.ops, v.Ops...)
 		st.mu.Unlock()
 	case wire.TraceOpBatch:
+		if c.spillCapture(st, m, raw) {
+			break
+		}
 		st.mu.Lock()
 		st.ops = append(st.ops, v.Ops...)
 		st.mu.Unlock()
 	case wire.JournalEvent:
+		if c.spillCapture(st, m, raw) {
+			break
+		}
 		st.mu.Lock()
 		st.events = append(st.events, obs.Event{
 			At: v.At, Proc: int(v.Proc), Kind: obs.Kind(v.Kind), Name: v.Name,
@@ -1537,6 +1704,9 @@ func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32)
 		})
 		st.mu.Unlock()
 	case wire.JournalBatch:
+		if c.spillCapture(st, m, raw) {
+			break
+		}
 		st.mu.Lock()
 		for _, e := range v.Events {
 			st.events = append(st.events, obs.Event{
@@ -1571,6 +1741,11 @@ func (c *Coordinator) ingest(st *nodeSession, m wire.Msg) (ingestAction, uint32)
 		st.mu.Lock()
 		if v.Epoch > st.epoch {
 			st.discardEpochLocked(v.Epoch)
+			if c.store != nil {
+				// The store-side twin: the origin's spilled records belong
+				// to the voided epoch; drop their index entries.
+				c.store.Discard(int32(st.id))
+			}
 		}
 		st.mu.Unlock()
 		c.mu.Lock()
@@ -1661,6 +1836,11 @@ func (c *Coordinator) refreshLag() {
 		c.live.FloatGauge("predctl_coord_ingest_lag_seconds",
 			obs.L("node", strconv.Itoa(st.id))).Set(now.Sub(at).Seconds())
 	}
+	if c.store != nil {
+		segs, bytes := c.store.Stats()
+		c.live.Gauge("predctl_store_segments_total").Set(int64(segs))
+		c.live.Gauge("predctl_store_segment_bytes").Set(bytes)
+	}
 }
 
 // sessionsSorted snapshots the session table in node-id order.
@@ -1696,6 +1876,13 @@ type CoordStatus struct {
 	LiveFired  bool              `json:"live_fired"`
 	ReExecs    int               `json:"reexecs"`
 	Nodes      []CoordNodeStatus `json:"nodes"`
+	// Relays holds one row per relay uplink when the cluster ingests
+	// through an aggregation tree (empty for a flat topology).
+	Relays []CoordRelayStatus `json:"relays,omitempty"`
+	// StoreSegments / StoreBytes report the trace store's footprint
+	// when capture spills to disk (both zero without a store).
+	StoreSegments int   `json:"store_segments,omitempty"`
+	StoreBytes    int64 `json:"store_bytes,omitempty"`
 }
 
 // CoordNodeStatus is one node's row in CoordStatus.
@@ -1760,6 +1947,10 @@ func (c *Coordinator) Status() CoordStatus {
 		}
 		s.Nodes = append(s.Nodes, row)
 	}
+	s.Relays = c.relayStatusRows(now)
+	if c.store != nil {
+		s.StoreSegments, s.StoreBytes = c.store.Stats()
+	}
 	return s
 }
 
@@ -1808,19 +1999,44 @@ func (c *Coordinator) ingestCandidate(st *nodeSession, v wire.Candidate) bool {
 // stagedOps snapshots every session's staged capture for epoch e,
 // grouped by logical process — the input to the live prefix
 // confirmation. Sessions still at an older epoch contribute nothing:
-// their ops predate the EpochMark that will void them.
+// their ops predate the EpochMark that will void them. With a trace
+// store configured the volume lives on disk, so the snapshot streams
+// each live session's records back through the same decode path —
+// the store's per-origin index already reflects every epoch discard.
 func (c *Coordinator) stagedOps(e uint32) [][]wire.TraceOp {
 	byProc := make([][]wire.TraceOp, 2*c.n)
+	addOp := func(op wire.TraceOp) {
+		if p := int(op.Proc); p >= 0 && p < 2*c.n {
+			byProc[p] = append(byProc[p], op)
+		}
+	}
 	for _, st := range c.sessionsSorted() {
 		st.mu.Lock()
-		if st.epoch == e {
+		live := st.epoch == e
+		if live {
 			for _, op := range st.ops {
-				if p := int(op.Proc); p >= 0 && p < 2*c.n {
-					byProc[p] = append(byProc[p], op)
-				}
+				addOp(op)
 			}
 		}
 		st.mu.Unlock()
+		if live && c.store != nil {
+			err := c.store.Replay(int32(st.id), func(_ uint64, m wire.Msg) error {
+				switch v := m.(type) {
+				case wire.Trace:
+					for _, op := range v.Ops {
+						addOp(op)
+					}
+				case wire.TraceOpBatch:
+					for _, op := range v.Ops {
+						addOp(op)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				c.logf("coordinator: node %d: store replay: %v", st.id, err)
+			}
+		}
 	}
 	return byProc
 }
@@ -1980,6 +2196,43 @@ func IngestBench(n int, journal *obs.Journal, bodies [][]byte) (int, error) {
 	return len(st.ops), nil
 }
 
+// IngestRelayBench replays pre-encoded RelayBatch frame bodies through
+// the root's relayed-ingest path — unpack, per-origin inner-sequence
+// dedup, decode-and-stage — the socket-free twin of IngestBench for the
+// tree topology. It returns the number of trace ops staged across all
+// origins.
+func IngestRelayBench(n int, journal *obs.Journal, bodies [][]byte) (int, error) {
+	c := &Coordinator{
+		n: n, journal: journal, logf: func(string, ...any) {},
+		sessions: map[int]*nodeSession{},
+		relays:   map[int]*relaySession{},
+		stats:    make([]Stats, n),
+		doneSeen: make([]bool, n), byeSeen: make([]bool, n),
+	}
+	rs := &relaySession{origins: map[int]bool{}}
+	for _, body := range bodies {
+		_, m, err := wire.DecodeBody(body)
+		if err != nil {
+			return 0, err
+		}
+		batch, ok := m.(wire.RelayBatch)
+		if !ok {
+			return 0, fmt.Errorf("node: relay ingest bench: %T, want RelayBatch", m)
+		}
+		for _, f := range batch.Frames {
+			c.ingestRelayed(rs, f)
+		}
+	}
+	ops := 0
+	for _, st := range c.sessions {
+		ops += len(st.ops)
+		for _, e := range st.events {
+			journal.Append(e)
+		}
+	}
+	return ops, nil
+}
+
 // broadcastShutdown tells every node the execution at epoch e is
 // complete — once the decision survives revalidation. A crashed-node
 // rejoin can land between the last Done being counted and this call
@@ -2034,5 +2287,13 @@ func (c *Coordinator) commitRun(e uint32) {
 	// Wait blocks on allByes below (and no restart can void it — the
 	// seal is already set, and shutdownMu is held throughout).
 	c.finalLiveLocked(e)
+	if c.store != nil {
+		// Seal after the closing live pass (which still replays from the
+		// store) but before Wait is released: the directory is a complete,
+		// verifiable capture bundle the moment the run result exists.
+		if err := c.store.Seal(c.n, e); err != nil {
+			c.logf("coordinator: store seal: %v", err)
+		}
+	}
 	c.byeOnce.Do(func() { close(c.allByes) })
 }

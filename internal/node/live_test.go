@@ -173,6 +173,16 @@ func TestLiveVerdictMatchesOffline(t *testing.T) {
 			}}
 			cfg.Faults.Seed = int64(seed)
 		}
+		// A third of the runs go through a 2-level aggregation tree —
+		// the live checker must reach the same verdict when candidates
+		// arrive re-batched through relays — and some of those also
+		// kill a relay mid-run (heals like a stream sever, no restart).
+		if seed%3 == 0 {
+			cfg.Relays = 2
+			if seed%9 == 6 {
+				cfg.RelayCrashes = []Crash{{At: 2 * time.Millisecond, Node: seed % 2, Down: 2 * time.Millisecond}}
+			}
+		}
 		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
 			res, _, _ := runTestCluster(t, cfg)
 			_, offline := detect.PossiblyGeneral(res.Deposet, violation)

@@ -316,6 +316,17 @@ func Run(cfg Config) (*Stats, error) {
 			tr.Close()
 			cc.close()
 			return nil, fmt.Errorf("node %d: coordinator session lost before the rejoin restart", cfg.ID)
+		case <-time.After(opt.CoordDeadline):
+			// The rejoin Hello rides the dial handshake, not the session
+			// log, so a coordinator/relay that dies between consuming it
+			// and acting on it loses it — and a session resume cannot
+			// replay it. An undecided hold this long means exactly that:
+			// abandon the incarnation and relaunch with a fresh Hello. A
+			// duplicate Hello at worst orders one redundant restart.
+			logf("node %d: no rejoin decision within %v; relaunching with a fresh hello", cfg.ID, opt.CoordDeadline)
+			tr.Close()
+			cc.close()
+			return nil, ErrCrashed
 		case <-cfg.Crash:
 			tr.Close()
 			cc.close()

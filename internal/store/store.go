@@ -1,0 +1,502 @@
+// Package store is the coordinator's segmented on-disk trace store:
+// staged capture frames appended to checksummed, size-rotated segment
+// files with an in-memory index of live offsets, so a million-event run
+// never holds its deposet in RAM. The unit of storage is one capture
+// frame body (the same version|kind|seq|payload bytes the wire carried)
+// wrapped in a wire.SegmentRecord tagging origin and epoch — replay is
+// the very decode path live ingest uses, so a trace assembled from disk
+// is byte-identical to one assembled from the in-RAM staging.
+//
+// Segment file layout:
+//
+//	[8-byte magic "PCSEG1\x00\x00"]
+//	record*: [u32 big-endian length][u32 big-endian CRC-32 (IEEE) of body][body]
+//	body = wire frame body of a SegmentRecord
+//
+// Epoch discards (§8 controlled re-execution voiding a partial
+// execution) drop index entries, not bytes: dead records stay in their
+// segments until the run ends, which keeps the write path append-only.
+// Seal writes a MANIFEST.json over the segments — name, size, CRC —
+// turning the directory into a self-contained capture bundle that
+// `pctl bundle verify` can check and `pctl bundle trace` can reassemble
+// air-gapped.
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"predctl/internal/obs"
+	"predctl/internal/wire"
+)
+
+// magic opens every segment file; a file without it is not a segment.
+var magic = []byte("PCSEG1\x00\x00")
+
+// ManifestName is the bundle manifest's file name.
+const ManifestName = "MANIFEST.json"
+
+// DefaultSegmentBytes is the rotation threshold when Config leaves it 0.
+const DefaultSegmentBytes = 4 << 20
+
+// recordOverhead is the per-record framing cost (length + checksum).
+const recordOverhead = 8
+
+// Config configures a Store.
+type Config struct {
+	// Dir is the segment directory; created if missing.
+	Dir string
+	// SegmentBytes rotates the active segment once it grows past this
+	// size (DefaultSegmentBytes when 0).
+	SegmentBytes int64
+	// Reg, when non-nil, receives the predctl_store_segment_bytes and
+	// predctl_store_segments_total gauges.
+	Reg          *obs.Registry
+	MetricLabels []obs.Label
+}
+
+// recRef locates one live record: segment ordinal, body offset, body
+// length.
+type recRef struct {
+	seg int
+	off int64
+	n   int32
+}
+
+// segment is one on-disk segment file's write-side state.
+type segment struct {
+	name    string
+	f       *os.File
+	w       *bufio.Writer
+	size    int64
+	records int
+}
+
+// Store is a segmented append-only record log with a per-origin index
+// of live records. Safe for concurrent use.
+type Store struct {
+	dir      string
+	segBytes int64
+
+	mu       sync.Mutex
+	segs     []*segment
+	cur      *segment
+	index    map[int32][]recRef
+	recSeq   uint64 // monotonic record counter (the SegmentRecord frame seq)
+	sealed   bool
+	appended int64 // total record bodies appended, bytes
+
+	gBytes *obs.Gauge
+	gSegs  *obs.Gauge
+}
+
+// Open creates (or reuses) the segment directory and starts the first
+// segment.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	segBytes := cfg.SegmentBytes
+	if segBytes <= 0 {
+		segBytes = DefaultSegmentBytes
+	}
+	s := &Store{
+		dir:      cfg.Dir,
+		segBytes: segBytes,
+		index:    map[int32][]recRef{},
+	}
+	if cfg.Reg != nil {
+		s.gBytes = cfg.Reg.Gauge("predctl_store_segment_bytes", cfg.MetricLabels...)
+		s.gSegs = cfg.Reg.Gauge("predctl_store_segments_total", cfg.MetricLabels...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func segName(i int) string { return fmt.Sprintf("seg-%06d.pcseg", i) }
+
+// rotateLocked closes the active segment (if any) and opens the next.
+func (s *Store) rotateLocked() error {
+	if s.cur != nil {
+		if err := s.cur.w.Flush(); err != nil {
+			return fmt.Errorf("store: flush %s: %w", s.cur.name, err)
+		}
+	}
+	name := segName(len(s.segs))
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	seg := &segment{name: name, f: f, w: bufio.NewWriterSize(f, 64<<10)}
+	if _, err := seg.w.Write(magic); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %s: %w", name, err)
+	}
+	seg.size = int64(len(magic))
+	s.segs = append(s.segs, seg)
+	s.cur = seg
+	if s.gSegs != nil {
+		s.gSegs.Set(int64(len(s.segs)))
+	}
+	return nil
+}
+
+// Append spills one capture frame body for origin at epoch. The body is
+// wrapped in a wire.SegmentRecord, checksummed, appended to the active
+// segment and indexed as live.
+func (s *Store) Append(origin int32, epoch uint32, body []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return fmt.Errorf("store: append after seal")
+	}
+	s.recSeq++
+	rec := wire.AppendBody(nil, s.recSeq, wire.SegmentRecord{Origin: origin, Epoch: epoch, Body: body})
+	var hdr [recordOverhead]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(rec))
+	seg := s.cur
+	if _, err := seg.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: %s: %w", seg.name, err)
+	}
+	if _, err := seg.w.Write(rec); err != nil {
+		return fmt.Errorf("store: %s: %w", seg.name, err)
+	}
+	s.index[origin] = append(s.index[origin], recRef{
+		seg: len(s.segs) - 1, off: seg.size + recordOverhead, n: int32(len(rec)),
+	})
+	seg.size += recordOverhead + int64(len(rec))
+	seg.records++
+	s.appended += int64(len(rec))
+	if s.gBytes != nil {
+		s.gBytes.Set(s.totalBytesLocked())
+	}
+	if seg.size >= s.segBytes {
+		return s.rotateLocked()
+	}
+	return nil
+}
+
+func (s *Store) totalBytesLocked() int64 {
+	var total int64
+	for _, seg := range s.segs {
+		total += seg.size
+	}
+	return total
+}
+
+// Discard drops every live record for origin from the index — the
+// store-side twin of the coordinator's epoch discard (an EpochMark
+// voided the origin's staged capture) and of a relaunched node's
+// session reset. Bytes stay on disk; only the index forgets them.
+func (s *Store) Discard(origin int32) {
+	s.mu.Lock()
+	delete(s.index, origin)
+	s.mu.Unlock()
+}
+
+// Origins returns the origins with live records, ascending.
+func (s *Store) Origins() []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int32, 0, len(s.index))
+	for o := range s.index {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats reports segment count and total on-disk bytes.
+func (s *Store) Stats() (segments int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.segs), s.totalBytesLocked()
+}
+
+// Replay streams origin's live records, in append order, decoded back
+// into wire messages. Each record's checksum is verified before decode;
+// a mismatch aborts with a corruption error naming the segment and
+// offset rather than yielding a garbled frame.
+func (s *Store) Replay(origin int32, fn func(seq uint64, m wire.Msg) error) error {
+	s.mu.Lock()
+	refs := append([]recRef(nil), s.index[origin]...)
+	names := make([]string, len(s.segs))
+	for i, seg := range s.segs {
+		names[i] = seg.name
+		if s.sealed {
+			continue // writers already flushed and closed
+		}
+		if err := seg.w.Flush(); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("store: flush %s: %w", seg.name, err)
+		}
+	}
+	s.mu.Unlock()
+
+	files := map[int]*os.File{}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, ref := range refs {
+		f := files[ref.seg]
+		if f == nil {
+			var err error
+			f, err = os.Open(filepath.Join(s.dir, names[ref.seg]))
+			if err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			files[ref.seg] = f
+		}
+		rec := make([]byte, ref.n)
+		if _, err := f.ReadAt(rec, ref.off); err != nil {
+			return fmt.Errorf("store: %s@%d: %w", names[ref.seg], ref.off, err)
+		}
+		var hdr [recordOverhead]byte
+		if _, err := f.ReadAt(hdr[:], ref.off-recordOverhead); err != nil {
+			return fmt.Errorf("store: %s@%d: %w", names[ref.seg], ref.off, err)
+		}
+		if got, want := crc32.ChecksumIEEE(rec), binary.BigEndian.Uint32(hdr[4:8]); got != want {
+			return fmt.Errorf("store: %s@%d: checksum mismatch (got %08x, want %08x): segment corrupt",
+				names[ref.seg], ref.off, got, want)
+		}
+		_, m, err := wire.DecodeBody(rec)
+		if err != nil {
+			return fmt.Errorf("store: %s@%d: %w", names[ref.seg], ref.off, err)
+		}
+		sr, ok := m.(wire.SegmentRecord)
+		if !ok {
+			return fmt.Errorf("store: %s@%d: record is %T, want SegmentRecord", names[ref.seg], ref.off, m)
+		}
+		seq, inner, err := wire.DecodeBody(sr.Body)
+		if err != nil {
+			return fmt.Errorf("store: %s@%d: inner frame: %w", names[ref.seg], ref.off, err)
+		}
+		if err := fn(seq, inner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Manifest is the bundle's index document: the segments that make up
+// one sealed capture, each pinned by size and checksum.
+type Manifest struct {
+	Schema   int           `json:"schema"`
+	N        int           `json:"n"`
+	Epoch    uint32        `json:"epoch"`
+	Segments []SegmentMeta `json:"segments"`
+}
+
+// SegmentMeta pins one segment file in the manifest.
+type SegmentMeta struct {
+	Name    string `json:"name"`
+	Bytes   int64  `json:"bytes"`
+	CRC32   uint32 `json:"crc32"` // IEEE, whole file
+	Records int    `json:"records"`
+}
+
+// Seal flushes and closes every segment and writes the bundle manifest:
+// the directory is now a self-contained, verifiable capture bundle.
+// Further appends fail.
+func (s *Store) Seal(n int, epoch uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return nil
+	}
+	s.sealed = true
+	man := Manifest{Schema: 1, N: n, Epoch: epoch}
+	for _, seg := range s.segs {
+		if err := seg.w.Flush(); err != nil {
+			return fmt.Errorf("store: seal %s: %w", seg.name, err)
+		}
+		if err := seg.f.Close(); err != nil {
+			return fmt.Errorf("store: seal %s: %w", seg.name, err)
+		}
+		crc, err := fileCRC(filepath.Join(s.dir, seg.name))
+		if err != nil {
+			return err
+		}
+		man.Segments = append(man.Segments, SegmentMeta{
+			Name: seg.name, Bytes: seg.size, CRC32: crc, Records: seg.records,
+		})
+	}
+	buf, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir, ManifestName), append(buf, '\n'), 0o644)
+}
+
+// Close flushes and closes the segments without sealing (no manifest):
+// the abort path. Idempotent with Seal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed {
+		return nil
+	}
+	s.sealed = true
+	for _, seg := range s.segs {
+		seg.w.Flush()
+		seg.f.Close()
+	}
+	return nil
+}
+
+func fileCRC(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return h.Sum32(), nil
+}
+
+// Verify checks a sealed bundle: the manifest parses, every listed
+// segment exists with the recorded size and whole-file checksum, and
+// every record inside checksums and decodes. It returns the manifest on
+// success.
+func Verify(dir string) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: bundle: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, fmt.Errorf("store: bundle manifest: %w", err)
+	}
+	if man.Schema != 1 {
+		return nil, fmt.Errorf("store: bundle manifest schema %d unsupported", man.Schema)
+	}
+	for _, sm := range man.Segments {
+		path := filepath.Join(dir, sm.Name)
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: bundle: %w", err)
+		}
+		if fi.Size() != sm.Bytes {
+			return nil, fmt.Errorf("store: bundle: %s is %d bytes, manifest says %d",
+				sm.Name, fi.Size(), sm.Bytes)
+		}
+		crc, err := fileCRC(path)
+		if err != nil {
+			return nil, err
+		}
+		if crc != sm.CRC32 {
+			return nil, fmt.Errorf("store: bundle: %s checksum %08x, manifest says %08x: segment corrupt",
+				sm.Name, crc, sm.CRC32)
+		}
+		records := 0
+		err = replaySegment(path, func(wire.SegmentRecord, uint64, wire.Msg) error {
+			records++
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if records != sm.Records {
+			return nil, fmt.Errorf("store: bundle: %s holds %d records, manifest says %d",
+				sm.Name, records, sm.Records)
+		}
+	}
+	return &man, nil
+}
+
+// ReplayBundle streams every record of a sealed bundle, segment by
+// segment in manifest order, with each record's checksum verified. Note
+// this yields all records, including ones a live run's epoch discards
+// had dropped from the index — callers filter by SegmentRecord.Epoch
+// (the manifest's Epoch is the final one).
+func ReplayBundle(dir string, fn func(rec wire.SegmentRecord, seq uint64, m wire.Msg) error) (*Manifest, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: bundle: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(buf, &man); err != nil {
+		return nil, fmt.Errorf("store: bundle manifest: %w", err)
+	}
+	for _, sm := range man.Segments {
+		if err := replaySegment(filepath.Join(dir, sm.Name), fn); err != nil {
+			return nil, err
+		}
+	}
+	return &man, nil
+}
+
+// replaySegment scans one segment file sequentially, verifying and
+// decoding every record.
+func replaySegment(path string, fn func(rec wire.SegmentRecord, seq uint64, m wire.Msg) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil || string(got) != string(magic) {
+		return fmt.Errorf("store: %s: not a segment file", path)
+	}
+	off := int64(len(magic))
+	for {
+		var hdr [recordOverhead]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("store: %s@%d: %w", path, off, err)
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		if n > wire.MaxFrame+64 {
+			return fmt.Errorf("store: %s@%d: record length %d exceeds frame limit", path, off, n)
+		}
+		rec := make([]byte, n)
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return fmt.Errorf("store: %s@%d: %w", path, off, err)
+		}
+		if got, want := crc32.ChecksumIEEE(rec), binary.BigEndian.Uint32(hdr[4:8]); got != want {
+			return fmt.Errorf("store: %s@%d: checksum mismatch (got %08x, want %08x): segment corrupt",
+				path, off, got, want)
+		}
+		seqRec, m, err := wire.DecodeBody(rec)
+		if err != nil {
+			return fmt.Errorf("store: %s@%d: %w", path, off, err)
+		}
+		sr, ok := m.(wire.SegmentRecord)
+		if !ok {
+			return fmt.Errorf("store: %s@%d: record is %T, want SegmentRecord", path, off, m)
+		}
+		seq, inner, err := wire.DecodeBody(sr.Body)
+		if err != nil {
+			return fmt.Errorf("store: %s@%d: inner frame: %w", path, off, err)
+		}
+		_ = seqRec
+		if err := fn(sr, seq, inner); err != nil {
+			return err
+		}
+		off += recordOverhead + int64(n)
+	}
+}

@@ -72,6 +72,16 @@ var goldenFrames = []struct {
 	}}},
 	{"19_detection", 19, Detection{Epoch: 1, Node: 2, AtNs: 7_250_000, Cut: []int64{3, -1, 4, 0, 2, 1}}},
 	{"20_reexec", 0, ReExec{Epoch: 2, Edges: 5}},
+	{"21_relayhello", 0, RelayHello{Relay: 2, Relays: 8, N: 256, Resume: true, Epoch: 3}},
+	{"22_relaybatch", 20, RelayBatch{Frames: []RelayFrame{
+		{Origin: 66, Body: AppendBody(nil, 9, TraceOpBatch{Ops: []TraceOp{
+			{Op: TraceSend, Proc: 66, MsgID: 66<<40 | 7},
+			{Op: TraceRecv, Proc: 66, MsgID: 66<<40 | 5},
+		}})},
+		{Origin: 2, Body: AppendBody(nil, 4, EpochMark{Epoch: 3})},
+	}}},
+	{"23_segmentrecord", 21, SegmentRecord{Origin: 66, Epoch: 3,
+		Body: AppendBody(nil, 9, JournalEvent{At: 77, Proc: 66, Kind: 6, Name: "cs", A: 1, VC: []int32{2, -1}})}},
 }
 
 func goldenPath(name string) string {
@@ -114,7 +124,7 @@ func TestGoldenFrames(t *testing.T) {
 	for _, g := range goldenFrames {
 		kinds[g.msg.wireKind()] = true
 	}
-	for k := kindHello; k <= kindReExec; k++ {
+	for k := kindHello; k <= kindSegmentRecord; k++ {
 		if !kinds[k] {
 			t.Errorf("frame kind %d has no golden fixture", k)
 		}

@@ -48,7 +48,7 @@ const maxVC = 1 << 16
 // unexported method): Hello, LinkAck, Ctl, App, Candidate, JournalEvent,
 // Trace, Done, Shutdown, JournalBatch, TraceOpBatch, CandidateBatch,
 // Resume, ResumeAck, Restart, EpochMark, Commit, MetricsSnapshot,
-// Detection, ReExec.
+// Detection, ReExec, RelayHello, RelayBatch, SegmentRecord.
 type Msg interface{ wireKind() byte }
 
 // Frame kinds (the body's second byte).
@@ -73,6 +73,39 @@ const (
 	kindMetricsSnapshot
 	kindDetection
 	kindReExec
+	kindRelayHello
+	kindRelayBatch
+	kindSegmentRecord
+)
+
+// Exported kind aliases, for consumers that route raw frame bodies by
+// PeekBody without decoding them (the relay's forwarding path). The
+// wire values stay private to keep the encode/decode switch the single
+// owner of the numbering.
+const (
+	KindHello           = kindHello
+	KindLinkAck         = kindLinkAck
+	KindCtl             = kindCtl
+	KindApp             = kindApp
+	KindCandidate       = kindCandidate
+	KindJournalEvent    = kindJournalEvent
+	KindTrace           = kindTrace
+	KindDone            = kindDone
+	KindShutdown        = kindShutdown
+	KindJournalBatch    = kindJournalBatch
+	KindTraceOpBatch    = kindTraceOpBatch
+	KindCandidateBatch  = kindCandidateBatch
+	KindResume          = kindResume
+	KindResumeAck       = kindResumeAck
+	KindRestart         = kindRestart
+	KindEpochMark       = kindEpochMark
+	KindCommit          = kindCommit
+	KindMetricsSnapshot = kindMetricsSnapshot
+	KindDetection       = kindDetection
+	KindReExec          = kindReExec
+	KindRelayHello      = kindRelayHello
+	KindRelayBatch      = kindRelayBatch
+	KindSegmentRecord   = kindSegmentRecord
 )
 
 // CtlKind is a controller-to-controller handoff message kind, mirroring
@@ -338,6 +371,55 @@ type ReExec struct {
 	Edges uint32
 }
 
+// RelayHello opens (or resumes) a relay's single upstream session to
+// the root coordinator in a hierarchical ingest tree. Relay is the
+// relay's index, Relays the fan-in width of the tree level, N the
+// cluster size the relay serves. Resume distinguishes a session
+// continuation (after a relay-to-root stream break) from a fresh relay
+// process coming up after a crash; Epoch carries the relay's cached
+// cluster epoch on resume so the root can catch a stale relay up at
+// the handshake, exactly as ResumeAck does for a node.
+type RelayHello struct {
+	Relay  int32
+	Relays int32
+	N      int32
+	Resume bool
+	Epoch  uint32
+}
+
+// RelayFrame is one forwarded child frame inside a RelayBatch: Origin
+// is the child node id and Body the child frame's complete body bytes
+// (version|kind|seq|payload), copied through verbatim — the relay never
+// re-encodes capture payloads, it only re-frames them. The inner seq is
+// the child's own capture-stream sequence number, which the root keeps
+// using for per-origin dedup after a relay restart.
+type RelayFrame struct {
+	Origin int32
+	Body   []byte
+}
+
+// RelayBatch is the relay's re-batched upstream frame: many child
+// frames from many origins packed into one sequenced frame on the
+// relay→root session. The outer seq (renumbered by the relay) drives
+// session resume on the relay hop; the inner per-origin seqs survive
+// inside the bodies, so resume/epoch semantics compose across both
+// hops.
+type RelayBatch struct {
+	Frames []RelayFrame
+}
+
+// SegmentRecord is the trace store's on-disk record payload: one staged
+// capture frame body (version|kind|seq|payload) tagged with the origin
+// node and the epoch it was staged under. Segment files are sequences
+// of checksummed SegmentRecord frames, which makes a capture bundle
+// self-describing — replay is DecodeBody over the inner bodies, the
+// same decode path the live ingest uses.
+type SegmentRecord struct {
+	Origin int32
+	Epoch  uint32
+	Body   []byte
+}
+
 func (Hello) wireKind() byte           { return kindHello }
 func (LinkAck) wireKind() byte         { return kindLinkAck }
 func (Ctl) wireKind() byte             { return kindCtl }
@@ -358,6 +440,9 @@ func (Commit) wireKind() byte          { return kindCommit }
 func (MetricsSnapshot) wireKind() byte { return kindMetricsSnapshot }
 func (Detection) wireKind() byte       { return kindDetection }
 func (ReExec) wireKind() byte          { return kindReExec }
+func (RelayHello) wireKind() byte      { return kindRelayHello }
+func (RelayBatch) wireKind() byte      { return kindRelayBatch }
+func (SegmentRecord) wireKind() byte   { return kindSegmentRecord }
 
 // --- encoding ---
 
@@ -520,6 +605,26 @@ func AppendBody(dst []byte, seq uint64, m Msg) []byte {
 	case ReExec:
 		dst = appendUvarint(dst, uint64(v.Epoch))
 		dst = appendUvarint(dst, uint64(v.Edges))
+	case RelayHello:
+		dst = appendVarint(dst, int64(v.Relay))
+		dst = appendVarint(dst, int64(v.Relays))
+		dst = appendVarint(dst, int64(v.N))
+		if v.Resume {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendUvarint(dst, uint64(v.Epoch))
+	case RelayBatch:
+		dst = appendUvarint(dst, uint64(len(v.Frames)))
+		for _, f := range v.Frames {
+			dst = appendVarint(dst, int64(f.Origin))
+			dst = appendBytes(dst, f.Body)
+		}
+	case SegmentRecord:
+		dst = appendVarint(dst, int64(v.Origin))
+		dst = appendUvarint(dst, uint64(v.Epoch))
+		dst = appendBytes(dst, v.Body)
 	default:
 		panic(fmt.Sprintf("wire: unknown message type %T", m))
 	}
@@ -828,6 +933,24 @@ func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
 		m = v
 	case kindReExec:
 		m = ReExec{Epoch: uint32(d.uvarint()), Edges: uint32(d.uvarint())}
+	case kindRelayHello:
+		m = RelayHello{Relay: d.i32(), Relays: d.i32(), N: d.i32(),
+			Resume: d.u8() != 0, Epoch: uint32(d.uvarint())}
+	case kindRelayBatch:
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(d.b)-d.off) { // each frame ≥ 1 byte
+			d.fail()
+		}
+		var frames []RelayFrame
+		if d.err == nil && n > 0 {
+			frames = make([]RelayFrame, 0, n)
+			for i := uint64(0); i < n && d.err == nil; i++ {
+				frames = append(frames, RelayFrame{Origin: d.i32(), Body: d.bytes()})
+			}
+		}
+		m = RelayBatch{Frames: frames}
+	case kindSegmentRecord:
+		m = SegmentRecord{Origin: d.i32(), Epoch: uint32(d.uvarint()), Body: d.bytes()}
 	default:
 		if d.err == nil {
 			d.err = fmt.Errorf("wire: unknown frame kind %d", kind)
@@ -842,6 +965,34 @@ func DecodeBody(body []byte) (seq uint64, m Msg, err error) {
 	return seq, m, nil
 }
 
+// PeekBody parses only the header of a frame body — version check,
+// kind, seq — without touching the payload. It is the relay's routing
+// read: a forwarded body is classified and re-framed by header alone,
+// and full decoding happens exactly once, at the root.
+func PeekBody(body []byte) (kind byte, seq uint64, err error) {
+	d := &dec{b: body}
+	if v := d.u8(); d.err == nil && v != Version {
+		return 0, 0, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	kind = d.u8()
+	seq = d.uvarint()
+	if d.err != nil {
+		return 0, 0, d.err
+	}
+	return kind, seq, nil
+}
+
+// AppendRawFrame appends one complete frame — length prefix plus an
+// already-encoded body — to dst. It is the pass-through counterpart of
+// AppendFrame for forwarding paths that hold raw bodies.
+func AppendRawFrame(dst, body []byte) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, body...)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
+}
+
 // WriteFrame writes one complete frame to w.
 func WriteFrame(w io.Writer, seq uint64, m Msg) error {
 	_, err := w.Write(Marshal(seq, m))
@@ -852,20 +1003,32 @@ func WriteFrame(w io.Writer, seq uint64, m Msg) error {
 // the body, which it decodes. io.EOF is returned verbatim on a clean
 // end-of-stream boundary.
 func ReadFrame(r io.Reader) (seq uint64, m Msg, err error) {
+	body, err := ReadRawBody(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	return DecodeBody(body)
+}
+
+// ReadRawBody reads one frame from r and returns its raw body bytes
+// without decoding the payload. Relays and the root's ingest loop read
+// this way so a body can be forwarded or spilled to the trace store
+// verbatim; io.EOF is returned verbatim on a clean frame boundary.
+func ReadRawBody(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return 0, nil, err
+		return nil, err
 	}
-	return DecodeBody(body)
+	return body, nil
 }

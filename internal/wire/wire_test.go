@@ -69,6 +69,16 @@ func sampleMsgs() []Msg {
 		Detection{Epoch: 3, Node: -1, AtNs: 9_000_000, Cut: []int64{1, 0, -1, 7}},
 		ReExec{Epoch: 1},
 		ReExec{Epoch: 6, Edges: 12},
+		RelayHello{Relay: 0, Relays: 4, N: 64},
+		RelayHello{Relay: 3, Relays: 4, N: 64, Resume: true, Epoch: 2},
+		RelayBatch{},
+		RelayBatch{Frames: []RelayFrame{
+			{Origin: 5, Body: AppendBody(nil, 12, EpochMark{Epoch: 2})},
+			{Origin: 0, Body: AppendBody(nil, 3, Candidate{Proc: 0, LoIdx: 1, HiIdx: 2})},
+		}},
+		SegmentRecord{},
+		SegmentRecord{Origin: 7, Epoch: 3,
+			Body: AppendBody(nil, 41, JournalEvent{At: 5, Proc: 7, Kind: 6, Name: "cs", A: 1})},
 	}
 }
 
